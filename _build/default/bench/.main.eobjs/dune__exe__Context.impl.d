@@ -1,0 +1,1 @@
+bench/context.ml: Filename Fom_analysis Fom_branch Fom_cache Fom_model Fom_trace Fom_uarch Fom_util Fom_workloads Hashtbl List Option Printf Sys

@@ -1,0 +1,1 @@
+bench/exhibits_ablation.ml: Array Context Float Fom_analysis Fom_isa Fom_model Fom_uarch Fom_util List

@@ -1,0 +1,1 @@
+bench/exhibits_events.ml: Array Context Float Fom_analysis Fom_cache Fom_model Fom_uarch Fom_util List Printf String

@@ -1,0 +1,1 @@
+bench/exhibits_extensions.ml: Context Fom_analysis Fom_cache Fom_isa Fom_model Fom_trace Fom_uarch Fom_util Fom_workloads List

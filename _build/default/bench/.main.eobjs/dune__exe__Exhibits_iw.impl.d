@@ -1,0 +1,1 @@
+bench/exhibits_iw.ml: Array Context Float Fom_analysis Fom_model Fom_util List Printf

@@ -1,0 +1,1 @@
+bench/exhibits_overall.ml: Array Context Float Fom_model Fom_uarch Fom_util List

@@ -1,0 +1,1 @@
+bench/exhibits_trends.ml: Array Context Float Fom_branch Fom_model Fom_trace Fom_uarch Fom_util List Printf Stdlib

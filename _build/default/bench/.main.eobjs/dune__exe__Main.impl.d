@@ -1,0 +1,1 @@
+bench/main.ml: Arg Context Exhibits_ablation Exhibits_events Exhibits_extensions Exhibits_iw Exhibits_overall Exhibits_trends List Printf String Timing Unix

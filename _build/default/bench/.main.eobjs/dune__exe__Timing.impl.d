@@ -1,0 +1,1 @@
+bench/timing.ml: Analyze Bechamel Bechamel_notty Benchmark Context Fom_analysis Fom_model Fom_trace Fom_uarch Fom_workloads Instance List Measure Notty_unix Staged Test Time Toolkit

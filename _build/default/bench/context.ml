@@ -1,0 +1,89 @@
+(* Shared state for the experiment harness: workload programs, scale
+   settings, and memoized simulation/characterization results so that
+   exhibits sharing a configuration (e.g. the all-ideal baseline) pay
+   for it once. *)
+
+module Config = Fom_uarch.Config
+module Stats = Fom_uarch.Stats
+module Hierarchy = Fom_cache.Hierarchy
+module Predictor = Fom_branch.Predictor
+module Params = Fom_model.Params
+
+type t = {
+  n_sim : int;  (** instructions per detailed simulation *)
+  n_profile : int;  (** instructions per functional profile *)
+  n_iw : int;  (** instructions per IW-curve point *)
+  csv_dir : string option;  (** where to mirror tables as CSV files *)
+  programs : (string * Fom_trace.Program.t) list;
+  sims : (string, Stats.t) Hashtbl.t;
+  inputs : (string, Fom_analysis.Iw_curve.t * Fom_analysis.Profile.t * Fom_model.Inputs.t) Hashtbl.t;
+}
+
+let create ?csv_dir ~scale () =
+  assert (scale > 0.0);
+  (match csv_dir with
+  | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
+  | Some _ | None -> ());
+  let s x = int_of_float (float_of_int x *. scale) in
+  {
+    n_sim = s 200_000;
+    n_profile = s 200_000;
+    n_iw = s 30_000;
+    csv_dir;
+    programs =
+      List.map
+        (fun config -> (config.Fom_trace.Config.name, Fom_trace.Program.generate config))
+        Fom_workloads.Spec2000.all;
+    sims = Hashtbl.create 64;
+    inputs = Hashtbl.create 16;
+  }
+
+let names t = List.map fst t.programs
+let program t name = List.assoc name t.programs
+
+(* Machine variants used across exhibits. *)
+let ideal = Config.ideal Config.baseline
+let real = Config.baseline
+let bp_only = Config.with_predictor Predictor.default_spec ideal
+let icache_only = Config.with_cache Hierarchy.ideal_except_l1i ideal
+let dcache_only = Config.with_cache Hierarchy.ideal_except_data ideal
+let fig14_machine = Config.with_cache Hierarchy.fig14 ideal
+
+let sim t ~variant ~config name =
+  let key = Printf.sprintf "%s/%s/%d" variant name t.n_sim in
+  match Hashtbl.find_opt t.sims key with
+  | Some stats -> stats
+  | None ->
+      let stats = Fom_uarch.Simulate.run config (program t name) ~n:t.n_sim in
+      Hashtbl.add t.sims key stats;
+      stats
+
+let characterization ?(grouping = Fom_analysis.Profile.Dependence_aware) t name =
+  let key =
+    Printf.sprintf "%s/%s" name
+      (match grouping with
+      | Fom_analysis.Profile.Dependence_aware -> "aware"
+      | Fom_analysis.Profile.Paper_naive -> "naive")
+  in
+  match Hashtbl.find_opt t.inputs key with
+  | Some result -> result
+  | None ->
+      let result =
+        Fom_analysis.Characterize.curve_and_inputs ~iw_instructions:t.n_iw ~grouping
+          ~params:Params.baseline (program t name) ~n:t.n_profile
+      in
+      Hashtbl.add t.inputs key result;
+      result
+
+let heading title = print_string (Fom_util.Table.heading title)
+
+let note fmt = Printf.printf (fmt ^^ "\n")
+
+(* Print a table and, when --csv is active, mirror it to
+   <csv_dir>/<name>.csv. *)
+let table t ~name ~header rows =
+  Fom_util.Table.print ~header rows;
+  Option.iter
+    (fun dir ->
+      Fom_util.Csv.write_file ~path:(Filename.concat dir (name ^ ".csv")) ~header rows)
+    t.csv_dir

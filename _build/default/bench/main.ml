@@ -1,0 +1,100 @@
+(* The reproduction harness: regenerates every data-bearing table and
+   figure of Karkhanis & Smith, "A First-Order Superscalar Processor
+   Model" (ISCA 2004), plus the ablation benches from DESIGN.md and a
+   Bechamel timing suite.
+
+   Usage: dune exec bench/main.exe -- [--quick] [--scale X]
+          [--only table1,fig15,...] [--list] [--no-timing] *)
+
+let exhibits : (string * string * (Context.t -> unit)) list =
+  [
+    ("table1", "power-law parameters and average latency", Exhibits_iw.table1);
+    ("fig2", "independence of miss-event penalties", Exhibits_events.fig2);
+    ("fig4", "IW curves, all benchmarks", Exhibits_iw.fig4);
+    ("fig5", "linear IW fits (gzip, vortex, vpr)", Exhibits_iw.fig5);
+    ("fig6", "IW characteristic with limited issue width", Exhibits_iw.fig6);
+    ("fig8", "isolated branch misprediction transient", Exhibits_iw.fig8);
+    ("fig9", "penalty per branch misprediction", Exhibits_events.fig9);
+    ("fig11", "penalty per I-cache miss", Exhibits_events.fig11);
+    ("fig14", "penalty per long D-cache miss", Exhibits_events.fig14);
+    ("fig15", "model vs simulation CPI", Exhibits_overall.fig15);
+    ("fig16", "CPI stack", Exhibits_overall.fig16);
+    ("fig17a", "IPC vs pipeline depth", Exhibits_trends.fig17a);
+    ("fig17b", "BIPS vs pipeline depth, optimal depths", Exhibits_trends.fig17b);
+    ("fig18", "mispredict distance vs issue width", Exhibits_trends.fig18);
+    ("fig19", "issue ramp between mispredictions", Exhibits_trends.fig19);
+    ("fig19-sim", "measured vs analytic issue ramp", Exhibits_trends.fig19_sim);
+    ("ext-tlb", "data-TLB extension, model vs sim", Exhibits_extensions.tlb);
+    ("ext-fu", "limited functional units extension", Exhibits_extensions.fu_limits);
+    ("ext-buffer", "fetch-buffer extension", Exhibits_extensions.fetch_buffer);
+    ("ext-cluster", "partitioned issue windows extension", Exhibits_extensions.clustering);
+    ("ext-phases", "program phases extension", Exhibits_extensions.phases);
+    ("ablation-model", "model variant errors", Exhibits_ablation.model_variants);
+    ("ablation-fit", "power-law fit vs window range", Exhibits_ablation.fit_windows);
+    ("ablation-little", "Little's-law accuracy", Exhibits_ablation.littles_law);
+  ]
+
+type options = {
+  mutable scale : float;
+  mutable only : string list option;
+  mutable list_only : bool;
+  mutable timing : bool;
+  mutable csv_dir : string option;
+}
+
+let parse_args () =
+  let options =
+    { scale = 1.0; only = None; list_only = false; timing = true; csv_dir = None }
+  in
+  let split s = String.split_on_char ',' s |> List.map String.trim in
+  let spec =
+    [
+      ("--quick", Arg.Unit (fun () -> options.scale <- 0.2), " run at 20% scale");
+      ("--scale", Arg.Float (fun x -> options.scale <- x), "X instruction-count scale factor");
+      ( "--only",
+        Arg.String (fun s -> options.only <- Some (split s)),
+        "LIST comma-separated exhibit names" );
+      ("--list", Arg.Unit (fun () -> options.list_only <- true), " list exhibits and exit");
+      ("--no-timing", Arg.Unit (fun () -> options.timing <- false), " skip the Bechamel suite");
+      ( "--csv",
+        Arg.String (fun dir -> options.csv_dir <- Some dir),
+        "DIR also write each exhibit's tables as CSV files" );
+    ]
+  in
+  Arg.parse (Arg.align spec)
+    (fun anon -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" anon)))
+    "fom reproduction harness";
+  options
+
+let () =
+  let options = parse_args () in
+  if options.list_only then
+    List.iter (fun (name, descr, _) -> Printf.printf "%-16s %s\n" name descr) exhibits
+  else begin
+    let selected =
+      match options.only with
+      | None -> exhibits
+      | Some names ->
+          List.iter
+            (fun n ->
+              if not (List.exists (fun (name, _, _) -> name = n) exhibits) then begin
+                Printf.eprintf "unknown exhibit %S (try --list)\n" n;
+                exit 2
+              end)
+            names;
+          List.filter (fun (name, _, _) -> List.mem name names) exhibits
+    in
+    Printf.printf
+      "First-order superscalar model reproduction harness (scale %.2f, %d exhibits)\n"
+      options.scale (List.length selected);
+    let ctx = Context.create ?csv_dir:options.csv_dir ~scale:options.scale () in
+    let started = Unix.gettimeofday () in
+    List.iter
+      (fun (name, _, run) ->
+        let t0 = Unix.gettimeofday () in
+        run ctx;
+        Printf.printf "[%s done in %.1fs]\n%!" name (Unix.gettimeofday () -. t0))
+      selected;
+    if options.timing then Timing.run ();
+    Printf.printf "\nTotal harness time: %.1fs\n" (Unix.gettimeofday () -. started)
+  end

@@ -1,0 +1,69 @@
+(* Bechamel timing suite: the paper's implicit speed claim is that the
+   analytical model is orders of magnitude faster than detailed
+   simulation. One Test.make per reproduced exhibit family, timing the
+   computation that regenerates it (at reduced scale). *)
+
+open Bechamel
+open Toolkit
+
+let make_tests () =
+  let program = Fom_trace.Program.generate (Fom_workloads.Spec2000.find "gzip") in
+  let params = Fom_model.Params.baseline in
+  let inputs = Fom_analysis.Characterize.inputs ~iw_instructions:2000 ~params program ~n:5000 in
+  let square = Fom_model.Iw_characteristic.make ~alpha:1.0 ~beta:0.5 ~issue_width:4.0 () in
+  [
+    (* Table 1 / Figures 4-6: one IW-curve point. *)
+    Test.make ~name:"iw-sim point (w=32, 2k instrs)"
+      (Staged.stage (fun () -> Fom_analysis.Iw_sim.ipc program ~window:32 ~n:2000));
+    (* Figure 8: the analytic transient. *)
+    Test.make ~name:"transient drain+ramp"
+      (Staged.stage (fun () ->
+           ignore (Fom_model.Transient.drain square ~window:48);
+           Fom_model.Transient.ramp_up square ~window:48));
+    (* Figures 15-16: a full model evaluation (given inputs). *)
+    Test.make ~name:"model evaluate"
+      (Staged.stage (fun () -> Fom_model.Cpi.evaluate params inputs));
+    (* Figures 2, 9, 11, 14: detailed simulation, per 1k instructions. *)
+    Test.make ~name:"detailed sim (1k instrs)"
+      (Staged.stage
+         (let stream = Fom_trace.Stream.create program in
+          let machine =
+            Fom_uarch.Machine.create Fom_uarch.Config.baseline (fun () ->
+                Fom_trace.Stream.next stream)
+          in
+          fun () -> ignore (Fom_uarch.Machine.run machine ~n:1000)));
+    (* Input pipeline: functional profiling, per 1k instructions. *)
+    Test.make ~name:"functional profile (1k instrs)"
+      (Staged.stage (fun () -> ignore (Fom_analysis.Profile.run program ~n:1000)));
+    (* Figure 17: one trend row. *)
+    Test.make ~name:"trends fig17 row"
+      (Staged.stage (fun () ->
+           Fom_model.Trends.ipc_vs_depth ~widths:[ 4 ] ~depths:[ 5; 20; 50 ] ()));
+    (* Trace generation, per 1k instructions. *)
+    Test.make ~name:"trace generation (1k instrs)"
+      (Staged.stage
+         (let stream = Fom_trace.Stream.create program in
+          fun () ->
+            for _ = 1 to 1000 do
+              ignore (Fom_trace.Stream.next stream)
+            done));
+  ]
+
+let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+let instances = Instance.[ monotonic_clock ]
+
+let run () =
+  Context.heading "Timing: model vs simulation cost (Bechamel)";
+  let tests = Test.make_grouped ~name:"fom" ~fmt:"%s %s" (make_tests ()) in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) ~kde:(Some 500) () in
+  let raw = Benchmark.all cfg instances tests in
+  let results =
+    Analyze.merge ols instances (List.map (fun instance -> Analyze.all ols instance raw) instances)
+  in
+  List.iter (fun v -> Bechamel_notty.Unit.add v (Measure.unit v)) instances;
+  let window = { Bechamel_notty.w = 100; h = 1 } in
+  let image =
+    Bechamel_notty.Multiple.image_of_ols_results ~rect:window ~predictor:Measure.run results
+  in
+  Notty_unix.output_image image;
+  print_newline ()

@@ -1,0 +1,1 @@
+examples/cache_branch_explorer.ml: Array Fom_analysis Fom_branch Fom_cache Fom_model Fom_trace Fom_util Fom_workloads List Printf Sys

@@ -1,0 +1,1 @@
+examples/cache_branch_explorer.mli:

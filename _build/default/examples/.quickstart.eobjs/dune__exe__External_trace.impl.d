@@ -1,0 +1,1 @@
+examples/external_trace.ml: Array Filename Fom_analysis Fom_model Fom_trace Fom_uarch Fom_util Fom_workloads Format Fun Printf Sys

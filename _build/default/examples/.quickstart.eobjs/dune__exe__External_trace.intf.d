@@ -1,0 +1,1 @@
+examples/external_trace.mli:

@@ -1,0 +1,1 @@
+examples/issue_width_study.ml: Array Float Fom_analysis Fom_model Fom_trace Fom_util Fom_workloads List Printf Sys

@@ -1,0 +1,1 @@
+examples/issue_width_study.mli:

@@ -1,0 +1,1 @@
+examples/model_vs_sim.ml: Array Float Fom_analysis Fom_model Fom_trace Fom_uarch Fom_util Fom_workloads Hashtbl List Printf Sys

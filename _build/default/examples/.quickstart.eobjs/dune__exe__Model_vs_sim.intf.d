@@ -1,0 +1,1 @@
+examples/model_vs_sim.mli:

@@ -1,0 +1,1 @@
+examples/pipeline_depth_study.ml: Array Float Fom_analysis Fom_model Fom_trace Fom_util Fom_workloads List Printf Sys

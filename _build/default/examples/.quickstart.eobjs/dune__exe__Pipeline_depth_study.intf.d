@@ -1,0 +1,1 @@
+examples/pipeline_depth_study.mli:

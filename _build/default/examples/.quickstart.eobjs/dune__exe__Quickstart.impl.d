@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fom_analysis Fom_model Fom_trace Fom_uarch Fom_workloads Format Printf

@@ -1,0 +1,1 @@
+examples/window_rob_sizing.ml: Array Fom_analysis Fom_model Fom_trace Fom_uarch Fom_util Fom_workloads List Printf Sys

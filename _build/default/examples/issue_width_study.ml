@@ -1,0 +1,71 @@
+(* Issue-width trend study (paper Section 6.2 / Figures 18-19).
+
+     dune exec examples/issue_width_study.exe -- [workload]
+
+   Using a measured workload characteristic, the example asks the
+   paper's question: how much better must the branch predictor get
+   (measured as instructions between mispredictions) to spend a given
+   fraction of cycles near the machine's peak issue rate — and how
+   does the requirement scale as the issue width doubles? *)
+
+module Trends = Fom_model.Trends
+module Iw = Fom_model.Iw_characteristic
+module Table = Fom_util.Table
+
+let () =
+  let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "gzip" in
+  let config = Fom_workloads.Spec2000.find name in
+  let program = Fom_trace.Program.generate config in
+  let params = Fom_model.Params.baseline in
+  let inputs = Fom_analysis.Characterize.inputs ~params program ~n:100_000 in
+  let iw =
+    Iw.make ~alpha:inputs.Fom_model.Inputs.alpha ~beta:inputs.Fom_model.Inputs.beta
+      ~avg_latency:inputs.Fom_model.Inputs.avg_latency ()
+  in
+  let current_distance =
+    int_of_float (1.0 /. Float.max 1e-6 inputs.Fom_model.Inputs.mispredictions_per_instr)
+  in
+  Printf.printf "%s: alpha %.2f beta %.2f latency %.2f\n" name iw.Iw.alpha iw.Iw.beta
+    iw.Iw.avg_latency;
+  Printf.printf "measured distance between mispredictions: %d instructions\n\n" current_distance;
+
+  (* Figure 18 for this workload's characteristic. *)
+  let widths = [ 4; 8; 16 ] in
+  let fractions = [ 0.1; 0.2; 0.3; 0.4; 0.5 ] in
+  let header =
+    "% time near width" :: List.map (fun w -> Printf.sprintf "issue %d" w) widths
+  in
+  let rows =
+    List.map
+      (fun fraction ->
+        Table.float_cell ~decimals:0 (100.0 *. fraction)
+        :: List.map
+             (fun width ->
+               string_of_int (Trends.mispred_distance_for_fraction ~iw ~width ~fraction ()))
+             widths)
+      fractions
+  in
+  Table.print ~header rows;
+  let n4 = Trends.mispred_distance_for_fraction ~iw ~width:4 ~fraction:0.3 () in
+  let n8 = Trends.mispred_distance_for_fraction ~iw ~width:8 ~fraction:0.3 () in
+  Printf.printf
+    "\ndoubling the issue width from 4 to 8 multiplies the requirement by %.1fx (paper: ~4x)\n\n"
+    (float_of_int n8 /. float_of_int n4);
+
+  (* Figure 19: the ramp this workload actually experiences. *)
+  print_endline "issue ramp between two mispredictions (first 30 cycles):";
+  let trajectories =
+    List.map
+      (fun w -> (w, Trends.issue_trajectory ~iw ~interval:current_distance ~width:w ()))
+      [ 2; 4; 8 ]
+  in
+  let header = "cycle" :: List.map (fun (w, _) -> Printf.sprintf "issue %d" w) trajectories in
+  let rows =
+    List.init 30 (fun c ->
+        string_of_int c
+        :: List.map
+             (fun (_, t) ->
+               if c < Array.length t then Table.float_cell ~decimals:2 t.(c) else "-")
+             trajectories)
+  in
+  Table.print ~header rows

@@ -1,0 +1,52 @@
+(* Pipeline-depth trend study (paper Section 6.1 / Figure 17), driven
+   by a *measured* workload characteristic instead of the paper's
+   generic square law.
+
+     dune exec examples/pipeline_depth_study.exe -- [workload]
+
+   For the chosen workload the example measures its IW power law and
+   misprediction distance, then asks: how would this workload's
+   performance move as the front end deepens, at several issue
+   widths, and where is its BIPS-optimal depth? *)
+
+module Trends = Fom_model.Trends
+module Iw = Fom_model.Iw_characteristic
+module Table = Fom_util.Table
+
+let () =
+  let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "gzip" in
+  let config = Fom_workloads.Spec2000.find name in
+  let program = Fom_trace.Program.generate config in
+  let params = Fom_model.Params.baseline in
+  let inputs = Fom_analysis.Characterize.inputs ~params program ~n:100_000 in
+  let iw =
+    Iw.make ~alpha:inputs.Fom_model.Inputs.alpha ~beta:inputs.Fom_model.Inputs.beta
+      ~avg_latency:inputs.Fom_model.Inputs.avg_latency ()
+  in
+  let interval =
+    max 10 (int_of_float (1.0 /. Float.max 1e-6 inputs.Fom_model.Inputs.mispredictions_per_instr))
+  in
+  Printf.printf "%s: alpha %.2f beta %.2f latency %.2f, %d instructions between mispredictions\n\n"
+    name iw.Iw.alpha iw.Iw.beta iw.Iw.avg_latency interval;
+  let widths = [ 2; 3; 4; 8 ] in
+  let depths = [ 1; 2; 5; 10; 20; 35; 55; 80; 100 ] in
+  let ipc_rows = Trends.ipc_vs_depth ~iw ~interval ~widths ~depths () in
+  let header = "depth" :: List.map (fun w -> Printf.sprintf "IPC@%d" w) widths in
+  let rows =
+    List.map
+      (fun d ->
+        string_of_int d
+        :: List.map (fun w -> Table.float_cell ~decimals:2 (List.assoc d (List.assoc w ipc_rows))) widths)
+      depths
+  in
+  Table.print ~header rows;
+  print_newline ();
+  let all_depths = List.init 100 (fun i -> i + 1) in
+  let bips_rows = Trends.bips_vs_depth ~iw ~interval ~widths ~depths:all_depths () in
+  List.iter
+    (fun w ->
+      let row = List.assoc w bips_rows in
+      let opt = Trends.optimal_depth row in
+      Printf.printf "issue %d: optimal front-end depth %d stages (%.2f BIPS)\n" w opt
+        (List.assoc opt row))
+    widths

@@ -1,0 +1,1 @@
+lib/analysis/characterize.ml: Float Fom_model Fom_trace Fom_util Iw_curve Profile

@@ -1,0 +1,1 @@
+lib/analysis/characterize.mli: Fom_branch Fom_cache Fom_isa Fom_model Fom_trace Iw_curve Profile

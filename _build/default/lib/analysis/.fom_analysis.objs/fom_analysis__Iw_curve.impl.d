@@ -1,0 +1,1 @@
+lib/analysis/iw_curve.ml: Array Float Fom_trace Fom_util Iw_sim List

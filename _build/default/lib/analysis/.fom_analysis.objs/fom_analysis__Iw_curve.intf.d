@@ -1,0 +1,1 @@
+lib/analysis/iw_curve.mli: Fom_isa Fom_trace Fom_util

@@ -1,0 +1,1 @@
+lib/analysis/iw_sim.ml: Array Fom_isa Fom_trace Option

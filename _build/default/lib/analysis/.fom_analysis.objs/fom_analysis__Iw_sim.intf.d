@@ -1,0 +1,1 @@
+lib/analysis/iw_sim.mli: Fom_isa Fom_trace

@@ -1,0 +1,1 @@
+lib/analysis/profile.ml: Array Fom_branch Fom_cache Fom_isa Fom_trace Fom_util List Option

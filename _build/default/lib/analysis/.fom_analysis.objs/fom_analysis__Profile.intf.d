@@ -1,0 +1,1 @@
+lib/analysis/profile.mli: Fom_branch Fom_cache Fom_isa Fom_trace Fom_util

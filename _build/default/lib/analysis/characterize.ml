@@ -1,0 +1,55 @@
+module Inputs = Fom_model.Inputs
+module Params = Fom_model.Params
+
+let curve_and_inputs_of_source ?windows ?iw_instructions ?cache ?predictor ?latencies ?grouping
+    ?dtlb ~(params : Params.t) source ~n =
+  let curve = Iw_curve.measure_source ?windows ?n:iw_instructions source in
+  let profile =
+    Profile.run_source ?cache ?predictor ?latencies ?grouping ?dtlb
+      ~burst_window:params.Params.window_size ~group_window:params.Params.rob_size source ~n
+  in
+  let inputs =
+    {
+      Inputs.name = Fom_trace.Source.label source;
+      instructions = n;
+      alpha = Float.max 0.01 (Iw_curve.alpha curve);
+      (* A dependence-saturated trace fits a flat (or noise-negative)
+         exponent; clamp into the model's valid (0, 1] range. *)
+      beta = Float.min 1.0 (Float.max 0.01 (Iw_curve.beta curve));
+      fit_r2 = curve.Iw_curve.fit.Fom_util.Fit.r2;
+      avg_latency = Float.max 1.0 profile.Profile.avg_latency;
+      mispredictions_per_instr = Profile.per_instr profile profile.Profile.mispredictions;
+      mispred_bursts = profile.Profile.mispred_bursts;
+      l1i_misses_per_instr = Profile.per_instr profile profile.Profile.l1i_misses;
+      l2i_misses_per_instr = Profile.per_instr profile profile.Profile.l2i_misses;
+      short_misses_per_instr = Profile.per_instr profile profile.Profile.short_misses;
+      long_misses_per_instr = Profile.per_instr profile profile.Profile.long_misses;
+      long_miss_groups = profile.Profile.long_miss_groups;
+      dtlb_misses_per_instr = Profile.per_instr profile profile.Profile.dtlb_misses;
+      dtlb_groups = profile.Profile.dtlb_groups;
+    }
+  in
+  (curve, profile, inputs)
+
+let curve_and_inputs ?windows ?iw_instructions ?cache ?predictor ?latencies ?grouping ?dtlb
+    ~params program ~n =
+  curve_and_inputs_of_source ?windows ?iw_instructions ?cache ?predictor ?latencies ?grouping
+    ?dtlb ~params
+    (Fom_trace.Source.of_program program)
+    ~n
+
+let inputs ?windows ?iw_instructions ?cache ?predictor ?latencies ?grouping ?dtlb ~params
+    program ~n =
+  let _, _, result =
+    curve_and_inputs ?windows ?iw_instructions ?cache ?predictor ?latencies ?grouping ?dtlb
+      ~params program ~n
+  in
+  result
+
+let inputs_of_source ?windows ?iw_instructions ?cache ?predictor ?latencies ?grouping ?dtlb
+    ~params source ~n =
+  let _, _, result =
+    curve_and_inputs_of_source ?windows ?iw_instructions ?cache ?predictor ?latencies ?grouping
+      ?dtlb ~params source ~n
+  in
+  result

@@ -1,0 +1,58 @@
+(** Assemble the model's inputs from trace analysis alone.
+
+    This is the paper's full input pipeline (Section 5, steps 1 and
+    5): the idealized IW curve gives alpha/beta; the functional
+    profile gives the mean latency, the miss-event rates, the
+    misprediction bursts, and the long-miss group distribution for the
+    machine's ROB size. No detailed simulation is involved. *)
+
+val inputs :
+  ?windows:int list -> ?iw_instructions:int ->
+  ?cache:Fom_cache.Hierarchy.config ->
+  ?predictor:Fom_branch.Predictor.spec ->
+  ?latencies:Fom_isa.Latency.t ->
+  ?grouping:Profile.grouping ->
+  ?dtlb:Fom_cache.Tlb.spec ->
+  params:Fom_model.Params.t ->
+  Fom_trace.Program.t -> n:int -> Fom_model.Inputs.t
+(** [inputs ~params program ~n] profiles [n] instructions and measures
+    the IW curve (default windows and 30k instructions per point).
+    [params] supplies the burst window (issue window size) and the
+    group window (ROB size). Cache, predictor and latencies default to
+    the paper's baseline. *)
+
+val inputs_of_source :
+  ?windows:int list -> ?iw_instructions:int ->
+  ?cache:Fom_cache.Hierarchy.config ->
+  ?predictor:Fom_branch.Predictor.spec ->
+  ?latencies:Fom_isa.Latency.t ->
+  ?grouping:Profile.grouping ->
+  ?dtlb:Fom_cache.Tlb.spec ->
+  params:Fom_model.Params.t ->
+  Fom_trace.Source.t -> n:int -> Fom_model.Inputs.t
+(** {!inputs} over any replayable source — the bring-your-own-trace
+    path: characterize an imported trace and model it without any
+    synthetic generation. *)
+
+val curve_and_inputs :
+  ?windows:int list -> ?iw_instructions:int ->
+  ?cache:Fom_cache.Hierarchy.config ->
+  ?predictor:Fom_branch.Predictor.spec ->
+  ?latencies:Fom_isa.Latency.t ->
+  ?grouping:Profile.grouping ->
+  ?dtlb:Fom_cache.Tlb.spec ->
+  params:Fom_model.Params.t ->
+  Fom_trace.Program.t -> n:int -> Iw_curve.t * Profile.t * Fom_model.Inputs.t
+(** Like {!inputs} but also returns the raw curve and profile, for
+    harnesses that print them (Table 1, Figures 4–5). *)
+
+val curve_and_inputs_of_source :
+  ?windows:int list -> ?iw_instructions:int ->
+  ?cache:Fom_cache.Hierarchy.config ->
+  ?predictor:Fom_branch.Predictor.spec ->
+  ?latencies:Fom_isa.Latency.t ->
+  ?grouping:Profile.grouping ->
+  ?dtlb:Fom_cache.Tlb.spec ->
+  params:Fom_model.Params.t ->
+  Fom_trace.Source.t -> n:int -> Iw_curve.t * Profile.t * Fom_model.Inputs.t
+(** {!curve_and_inputs} over any replayable source. *)

@@ -1,0 +1,30 @@
+type point = { window : int; ipc : float }
+
+type t = { points : point list; fit : Fom_util.Fit.power_law }
+
+let default_windows = [ 4; 8; 16; 32; 64; 128; 256 ]
+
+let measure_source ?(windows = default_windows) ?(n = 30_000) ?latencies ?issue_limit source =
+  assert (windows <> []);
+  let points =
+    List.map
+      (fun window ->
+        { window; ipc = Iw_sim.ipc_of_source ?latencies ?issue_limit source ~window ~n })
+      (List.sort_uniq compare windows)
+  in
+  let fit =
+    Fom_util.Fit.power_law
+      (Array.of_list (List.map (fun p -> (float_of_int p.window, p.ipc)) points))
+  in
+  { points; fit }
+
+let measure ?windows ?n ?latencies ?issue_limit program =
+  measure_source ?windows ?n ?latencies ?issue_limit (Fom_trace.Source.of_program program)
+
+let alpha t = t.fit.Fom_util.Fit.alpha
+let beta t = t.fit.Fom_util.Fit.beta
+
+let log2 x = Float.log x /. Float.log 2.0
+
+let log2_points t =
+  List.map (fun p -> (log2 (float_of_int p.window), log2 p.ipc)) t.points

@@ -1,0 +1,30 @@
+(** Measured IW curves and their power-law fits (paper Table 1,
+    Figures 4–5). *)
+
+type point = { window : int; ipc : float }
+
+type t = {
+  points : point list;  (** measured, in increasing window order *)
+  fit : Fom_util.Fit.power_law;  (** the log-log line fit *)
+}
+
+val default_windows : int list
+(** 4, 8, 16, 32, 64, 128, 256 — the paper's Figure 4 range. *)
+
+val measure :
+  ?windows:int list -> ?n:int -> ?latencies:Fom_isa.Latency.t ->
+  ?issue_limit:int -> Fom_trace.Program.t -> t
+(** Run the idealized simulation at each window size and fit. Defaults:
+    {!default_windows}, 30_000 instructions per point, unit latencies,
+    unbounded issue — the implementation-independent curve. *)
+
+val measure_source :
+  ?windows:int list -> ?n:int -> ?latencies:Fom_isa.Latency.t ->
+  ?issue_limit:int -> Fom_trace.Source.t -> t
+(** {!measure} over any replayable source. *)
+
+val alpha : t -> float
+val beta : t -> float
+
+val log2_points : t -> (float * float) list
+(** [(log2 window, log2 ipc)] pairs, for Figure 4/5-style output. *)

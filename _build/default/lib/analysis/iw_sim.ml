@@ -1,0 +1,74 @@
+module Instr = Fom_isa.Instr
+module Latency = Fom_isa.Latency
+
+let ring_bits = 16
+let ring_size = 1 lsl ring_bits
+let ring_mask = ring_size - 1
+
+let ipc_of_source ?(latencies = Fom_isa.Latency.unit) ?issue_limit source ~window ~n =
+  assert (window >= 1 && n > 0);
+  let next_instr = Fom_trace.Source.fresh source in
+  (* Window of unissued instructions in age order. *)
+  let win = Array.make window None in
+  let count = ref 0 in
+  (* Completion times of issued instructions, keyed by index; entries
+     older than the ring are certainly complete (the in-flight span is
+     bounded by the window size). *)
+  let comp_idx = Array.make ring_size (-1) in
+  let comp_time = Array.make ring_size 0 in
+  let oldest_unissued = ref 0 in
+  let fetched = ref 0 in
+  let cycle = ref 0 in
+  let issued_total = ref 0 in
+  let limit = Option.value issue_limit ~default:max_int in
+  let complete d =
+    let slot = d land ring_mask in
+    if comp_idx.(slot) = d then comp_time.(slot) <= !cycle else d < !oldest_unissued
+  in
+  let ready (i : Instr.t) =
+    let deps = i.Instr.deps in
+    let rec check k = k >= Array.length deps || (complete deps.(k) && check (k + 1)) in
+    check 0
+  in
+  while !issued_total < n do
+    (* Refill the window to capacity (instant fetch). *)
+    while !count < window do
+      win.(!count) <- Some (next_instr ());
+      incr count;
+      incr fetched
+    done;
+    (* Issue everything ready, oldest first, up to the width limit. *)
+    let issued = ref 0 in
+    let kept = ref 0 in
+    for k = 0 to !count - 1 do
+      match win.(k) with
+      | None -> assert false
+      | Some i ->
+          if !issued < limit && ready i then begin
+            let slot = i.Instr.index land ring_mask in
+            comp_idx.(slot) <- i.Instr.index;
+            comp_time.(slot) <- !cycle + Latency.of_class latencies i.Instr.opclass;
+            incr issued
+          end
+          else begin
+            win.(!kept) <- win.(k);
+            incr kept
+          end
+    done;
+    for k = !kept to !count - 1 do
+      win.(k) <- None
+    done;
+    count := !kept;
+    (* The oldest unissued instruction is now the window head (the
+       window was full before issuing). *)
+    (oldest_unissued :=
+       match win.(0) with
+       | Some i -> i.Instr.index
+       | None -> !fetched);
+    issued_total := !issued_total + !issued;
+    incr cycle
+  done;
+  float_of_int !issued_total /. float_of_int !cycle
+
+let ipc ?latencies ?issue_limit program ~window ~n =
+  ipc_of_source ?latencies ?issue_limit (Fom_trace.Source.of_program program) ~window ~n

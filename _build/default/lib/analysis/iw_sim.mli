@@ -1,0 +1,23 @@
+(** Idealized window-limited dataflow simulation.
+
+    The paper's Section 3 measurement: ideal caches and branch
+    prediction, unbounded functional units, unbounded (or optionally
+    limited) issue width, instant window refill — the only constraint
+    is the issue-window size, plus the trace's true dependences. With
+    unit latencies this produces the implementation-independent IW
+    curves of Figure 4; with an issue-width limit it produces the
+    saturating curves of Figure 6. This is a simple trace-driven
+    simulation, not a detailed one — the distinction the paper leans
+    on. *)
+
+val ipc :
+  ?latencies:Fom_isa.Latency.t -> ?issue_limit:int ->
+  Fom_trace.Program.t -> window:int -> n:int -> float
+(** [ipc program ~window ~n]: average instructions issued per cycle
+    over the first [n] instructions. Default latencies are unit;
+    default issue width is unbounded. *)
+
+val ipc_of_source :
+  ?latencies:Fom_isa.Latency.t -> ?issue_limit:int ->
+  Fom_trace.Source.t -> window:int -> n:int -> float
+(** {!ipc} over any replayable source (e.g. an imported trace). *)

@@ -1,0 +1,244 @@
+module Instr = Fom_isa.Instr
+module Opclass = Fom_isa.Opclass
+module Latency = Fom_isa.Latency
+module Hierarchy = Fom_cache.Hierarchy
+module Predictor = Fom_branch.Predictor
+module Distribution = Fom_util.Distribution
+
+type t = {
+  instructions : int;
+  class_counts : (Opclass.t * int) list;
+  avg_latency : float;
+  branches : int;
+  mispredictions : int;
+  mispred_bursts : Distribution.t;
+  l1i_misses : int;
+  l2i_misses : int;
+  short_misses : int;
+  long_misses : int;
+  long_miss_groups : Distribution.t;
+  dtlb_misses : int;
+  dtlb_groups : Distribution.t;
+}
+
+type grouping = Dependence_aware | Paper_naive
+
+(* Tracks runs of events, emitting run lengths into a distribution.
+   [Leader]-anchored runs admit a new event only within [window]
+   instructions of the run's first event (a follower overlaps the
+   leader's outstanding miss only while the leader pins the ROB);
+   [Previous]-anchored runs chain on consecutive distances (the
+   paper's reading). [split] forces a new run regardless. *)
+type anchor = Leader | Previous
+
+type grouper = {
+  dist : Distribution.t;
+  window : int;
+  anchor : anchor;
+  mutable leader_index : int;
+  mutable last_index : int;
+  mutable run : int;
+}
+
+let grouper ?(anchor = Previous) window =
+  {
+    dist = Distribution.create ();
+    window;
+    anchor;
+    leader_index = min_int / 2;
+    last_index = min_int / 2;
+    run = 0;
+  }
+
+(* Returns [true] when the event started a new run. *)
+let grouper_add ?(split = false) g index =
+  let reference = match g.anchor with Leader -> g.leader_index | Previous -> g.last_index in
+  let extends = (not split) && g.run > 0 && index - reference <= g.window in
+  if extends then g.run <- g.run + 1
+  else begin
+    if g.run > 0 then Distribution.add g.dist g.run;
+    g.run <- 1;
+    g.leader_index <- index
+  end;
+  g.last_index <- index;
+  not extends
+
+let grouper_flush g = if g.run > 0 then Distribution.add g.dist g.run
+
+(* Transitive-dependence taint over a ring of recent instructions:
+   an instruction is tainted by the open miss group when any of its
+   producers is a group member or itself tainted. A tainted long miss
+   cannot overlap the group — its address waits for the group's data. *)
+let taint_bits = 14
+let taint_size = 1 lsl taint_bits
+let taint_mask = taint_size - 1
+
+type taint = { idx : int array; group : int array }
+
+let taint_create () = { idx = Array.make taint_size (-1); group = Array.make taint_size (-1) }
+
+let tainted_by taint ~group_id deps =
+  let rec check k =
+    k < Array.length deps
+    &&
+    let d = deps.(k) in
+    let slot = d land taint_mask in
+    (taint.idx.(slot) = d && taint.group.(slot) = group_id) || check (k + 1)
+  in
+  check 0
+
+let taint_mark taint ~group_id index =
+  let slot = index land taint_mask in
+  taint.idx.(slot) <- index;
+  taint.group.(slot) <- group_id
+
+let run_source ?(cache = Hierarchy.baseline) ?(predictor = Predictor.default_spec)
+    ?(latencies = Latency.default) ?(burst_window = 48) ?(group_window = 128)
+    ?(grouping = Dependence_aware) ?dtlb source ~n =
+  assert (n > 0);
+  let hierarchy = Hierarchy.create cache in
+  let pred = Predictor.create predictor in
+  let next_instr = Fom_trace.Source.fresh source in
+  let counts = Array.make (List.length Opclass.all) 0 in
+  let class_slot cls =
+    let rec find k = function
+      | [] -> assert false
+      | c :: rest -> if Opclass.equal c cls then k else find (k + 1) rest
+    in
+    find 0 Opclass.all
+  in
+  let latency_sum = ref 0.0 in
+  let branches = ref 0 in
+  let mispredictions = ref 0 in
+  let bursts = grouper burst_window in
+  let groups =
+    match grouping with
+    | Dependence_aware -> grouper ~anchor:Leader group_window
+    | Paper_naive -> grouper ~anchor:Previous group_window
+  in
+  let taint = taint_create () in
+  let group_id = ref 0 in
+  let tlb = Option.map Fom_cache.Tlb.create dtlb in
+  let dtlb_misses = ref 0 in
+  let tlb_groups = grouper ~anchor:Leader group_window in
+  (* TLB misses get their own dependence taint: a walk whose address
+     depends on an in-group walk serializes, exactly like long data
+     misses. *)
+  let tlb_taint = taint_create () in
+  let tlb_group_id = ref 0 in
+  (* [count]: store misses fill the TLB but are not miss-events. *)
+  let translate ~count addr =
+    match tlb with
+    | None -> false
+    | Some tlb ->
+        let miss = not (Fom_cache.Tlb.access tlb addr) in
+        if miss && count then incr dtlb_misses;
+        miss && count
+  in
+  let short_misses = ref 0 in
+  let long_misses = ref 0 in
+  let last_line = ref (-1) in
+  let line_of pc =
+    match cache.Hierarchy.l1i with
+    | Hierarchy.Real g -> Fom_cache.Geometry.line_address g pc
+    | Hierarchy.Ideal -> pc land lnot 127
+  in
+  for _ = 1 to n do
+    let instr = next_instr () in
+    counts.(class_slot instr.Instr.opclass) <- counts.(class_slot instr.Instr.opclass) + 1;
+    let line = line_of instr.Instr.pc in
+    if line <> !last_line then begin
+      last_line := line;
+      ignore (Hierarchy.access_inst hierarchy instr.Instr.pc)
+    end;
+    let is_tainted =
+      grouping = Dependence_aware
+      && tainted_by taint ~group_id:!group_id instr.Instr.deps
+    in
+    let base_latency = Latency.of_class latencies instr.Instr.opclass in
+    let marked_as_miss = ref false in
+    let tlb_tainted =
+      grouping = Dependence_aware
+      && Option.is_some tlb
+      && tainted_by tlb_taint ~group_id:!tlb_group_id instr.Instr.deps
+    in
+    let tlb_marked = ref false in
+    (match instr.Instr.opclass with
+    | Opclass.Load -> (
+        if translate ~count:true (Option.get instr.Instr.mem) then begin
+          if grouper_add ~split:tlb_tainted tlb_groups instr.Instr.index then
+            incr tlb_group_id;
+          if grouping = Dependence_aware then begin
+            taint_mark tlb_taint ~group_id:!tlb_group_id instr.Instr.index;
+            tlb_marked := true
+          end
+        end;
+        match Hierarchy.access_data hierarchy (Option.get instr.Instr.mem) with
+        | Hierarchy.L1_hit -> latency_sum := !latency_sum +. float_of_int base_latency
+        | Hierarchy.L2_hit ->
+            incr short_misses;
+            (* Short misses behave like a long-latency functional
+               unit: they lengthen the mean latency (paper 4.3). *)
+            latency_sum :=
+              !latency_sum +. float_of_int (Hierarchy.data_latency hierarchy Hierarchy.L2_hit)
+        | Hierarchy.Memory ->
+            incr long_misses;
+            (* A miss that depends on the open group serializes after
+               it and starts a new group. *)
+            let new_group = grouper_add ~split:is_tainted groups instr.Instr.index in
+            if new_group then incr group_id;
+            if grouping = Dependence_aware then begin
+              taint_mark taint ~group_id:!group_id instr.Instr.index;
+              marked_as_miss := true
+            end;
+            (* Long misses are modeled separately; they contribute
+               their base latency here. *)
+            latency_sum := !latency_sum +. float_of_int base_latency)
+    | Opclass.Store ->
+        ignore (translate ~count:false (Option.get instr.Instr.mem));
+        ignore (Hierarchy.access_data hierarchy (Option.get instr.Instr.mem));
+        latency_sum := !latency_sum +. float_of_int base_latency
+    | Opclass.Branch ->
+        incr branches;
+        let taken = (Option.get instr.Instr.ctrl).Instr.taken in
+        if not (Predictor.observe pred ~pc:instr.Instr.pc ~taken) then begin
+          incr mispredictions;
+          ignore (grouper_add bursts instr.Instr.index)
+        end;
+        latency_sum := !latency_sum +. float_of_int base_latency
+    | Opclass.Alu | Opclass.Mul | Opclass.Div | Opclass.Jump ->
+        latency_sum := !latency_sum +. float_of_int base_latency);
+    if is_tainted && not !marked_as_miss then
+      taint_mark taint ~group_id:!group_id instr.Instr.index;
+    if tlb_tainted && not !tlb_marked then
+      taint_mark tlb_taint ~group_id:!tlb_group_id instr.Instr.index
+  done;
+  grouper_flush bursts;
+  grouper_flush groups;
+  grouper_flush tlb_groups;
+  let cache_stats = Hierarchy.stats hierarchy in
+  {
+    instructions = n;
+    class_counts = List.mapi (fun k cls -> (cls, counts.(k))) Opclass.all;
+    avg_latency = !latency_sum /. float_of_int n;
+    branches = !branches;
+    mispredictions = !mispredictions;
+    mispred_bursts = bursts.dist;
+    l1i_misses = cache_stats.Hierarchy.l1i_misses - cache_stats.Hierarchy.l2i_misses;
+    l2i_misses = cache_stats.Hierarchy.l2i_misses;
+    short_misses = !short_misses;
+    long_misses = !long_misses;
+    long_miss_groups = groups.dist;
+    dtlb_misses = !dtlb_misses;
+    dtlb_groups = tlb_groups.dist;
+  }
+
+let class_fraction t cls =
+  let count = List.assoc cls t.class_counts in
+  float_of_int count /. float_of_int t.instructions
+
+let per_instr t count = float_of_int count /. float_of_int t.instructions
+
+let run ?cache ?predictor ?latencies ?burst_window ?group_window ?grouping ?dtlb program ~n =
+  run_source ?cache ?predictor ?latencies ?burst_window ?group_window ?grouping ?dtlb
+    (Fom_trace.Source.of_program program) ~n

@@ -1,0 +1,1 @@
+lib/cache/hierarchy.ml: Geometry Sa_cache

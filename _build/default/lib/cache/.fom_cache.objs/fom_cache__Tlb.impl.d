@@ -1,0 +1,1 @@
+lib/cache/tlb.ml: Geometry Sa_cache

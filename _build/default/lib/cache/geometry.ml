@@ -1,0 +1,22 @@
+type t = { size : int; assoc : int; line : int }
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let make ~size ~assoc ~line =
+  assert (size > 0 && assoc > 0 && line > 0);
+  assert (is_power_of_two line);
+  assert (size mod (assoc * line) = 0);
+  assert (is_power_of_two (size / (assoc * line)));
+  { size; assoc; line }
+
+let sets t = t.size / (t.assoc * t.line)
+let lines t = t.size / t.line
+let line_address t addr = addr land lnot (t.line - 1)
+let set_index t addr = addr / t.line land (sets t - 1)
+let tag t addr = addr / t.line / sets t
+
+let l1_baseline = make ~size:4096 ~assoc:4 ~line:128
+let l2_baseline = make ~size:(512 * 1024) ~assoc:4 ~line:128
+
+let pp fmt t =
+  Format.fprintf fmt "%dB/%d-way/%dB-line (%d sets)" t.size t.assoc t.line (sets t)

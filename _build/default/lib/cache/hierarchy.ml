@@ -1,0 +1,118 @@
+type outcome = L1_hit | L2_hit | Memory
+
+type level = Ideal | Real of Geometry.t
+type l2_level = Ideal_l2 | Real_l2 of Geometry.t | No_l2
+
+type latencies = { l1 : int; l2 : int; memory : int }
+
+type config = { l1i : level; l1d : level; l2 : l2_level; latencies : latencies }
+
+let baseline_latencies = { l1 = 1; l2 = 8; memory = 200 }
+
+let baseline =
+  {
+    l1i = Real Geometry.l1_baseline;
+    l1d = Real Geometry.l1_baseline;
+    l2 = Real_l2 Geometry.l2_baseline;
+    latencies = baseline_latencies;
+  }
+
+let all_ideal = { baseline with l1i = Ideal; l1d = Ideal }
+let ideal_except_l1i = { baseline with l1d = Ideal; l2 = Ideal_l2 }
+let ideal_except_data = { baseline with l1i = Ideal }
+
+let fig14 =
+  {
+    l1i = Ideal;
+    l1d = Real (Geometry.make ~size:(128 * 1024) ~assoc:4 ~line:128);
+    l2 = No_l2;
+    latencies = baseline_latencies;
+  }
+
+type stats = {
+  inst_accesses : int;
+  l1i_misses : int;
+  l2i_misses : int;
+  data_accesses : int;
+  short_misses : int;
+  long_misses : int;
+}
+
+type t = {
+  config : config;
+  l1i : Sa_cache.t option;
+  l1d : Sa_cache.t option;
+  l2 : Sa_cache.t option;
+  mutable s : stats;
+}
+
+let zero_stats =
+  {
+    inst_accesses = 0;
+    l1i_misses = 0;
+    l2i_misses = 0;
+    data_accesses = 0;
+    short_misses = 0;
+    long_misses = 0;
+  }
+
+let create (config : config) =
+  let level = function Ideal -> None | Real g -> Some (Sa_cache.create g) in
+  let l2 =
+    match config.l2 with
+    | Ideal_l2 | No_l2 -> None
+    | Real_l2 g -> Some (Sa_cache.create g)
+  in
+  { config; l1i = level config.l1i; l1d = level config.l1d; l2; s = zero_stats }
+
+let config t = t.config
+
+let beyond_l1 t addr =
+  match (t.config.l2, t.l2) with
+  | Ideal_l2, _ -> L2_hit
+  | No_l2, _ -> Memory
+  | Real_l2 _, Some l2 -> if Sa_cache.access l2 addr then L2_hit else Memory
+  | Real_l2 _, None -> assert false
+
+let access_inst t addr =
+  let outcome =
+    match t.l1i with
+    | None -> L1_hit
+    | Some l1 -> if Sa_cache.access l1 addr then L1_hit else beyond_l1 t addr
+  in
+  t.s <-
+    {
+      t.s with
+      inst_accesses = t.s.inst_accesses + 1;
+      l1i_misses = (t.s.l1i_misses + match outcome with L1_hit -> 0 | L2_hit | Memory -> 1);
+      l2i_misses = (t.s.l2i_misses + match outcome with Memory -> 1 | L1_hit | L2_hit -> 0);
+    };
+  outcome
+
+let access_data t addr =
+  let outcome =
+    match t.l1d with
+    | None -> L1_hit
+    | Some l1 -> if Sa_cache.access l1 addr then L1_hit else beyond_l1 t addr
+  in
+  t.s <-
+    {
+      t.s with
+      data_accesses = t.s.data_accesses + 1;
+      short_misses = (t.s.short_misses + match outcome with L2_hit -> 1 | L1_hit | Memory -> 0);
+      long_misses = (t.s.long_misses + match outcome with Memory -> 1 | L1_hit | L2_hit -> 0);
+    };
+  outcome
+
+let data_latency t = function
+  | L1_hit -> t.config.latencies.l1
+  | L2_hit -> t.config.latencies.l2
+  | Memory -> t.config.latencies.memory
+
+let inst_stall t = function
+  | L1_hit -> 0
+  | L2_hit -> t.config.latencies.l2
+  | Memory -> t.config.latencies.memory
+
+let stats t = t.s
+let reset_stats t = t.s <- zero_stats

@@ -1,0 +1,73 @@
+(* Each set stores [assoc] tags with an age stamp; the LRU victim is
+   the smallest stamp. Sets are small (4-way baseline), so linear scans
+   beat fancier structures. Tag -1 marks an invalid way. *)
+type t = {
+  geometry : Geometry.t;
+  tags : int array;  (* sets * assoc *)
+  stamps : int array;
+  mutable clock : int;
+  mutable accesses : int;
+  mutable misses : int;
+}
+
+let create geometry =
+  let n = Geometry.sets geometry * geometry.Geometry.assoc in
+  {
+    geometry;
+    tags = Array.make n (-1);
+    stamps = Array.make n 0;
+    clock = 0;
+    accesses = 0;
+    misses = 0;
+  }
+
+let geometry t = t.geometry
+
+let find t addr =
+  let g = t.geometry in
+  let base = Geometry.set_index g addr * g.Geometry.assoc in
+  let tag = Geometry.tag g addr in
+  let rec scan way =
+    if way >= g.Geometry.assoc then None
+    else if t.tags.(base + way) = tag then Some (base + way)
+    else scan (way + 1)
+  in
+  scan 0
+
+let probe t addr = Option.is_some (find t addr)
+let resident = probe
+
+let access t addr =
+  t.accesses <- t.accesses + 1;
+  t.clock <- t.clock + 1;
+  match find t addr with
+  | Some slot ->
+      t.stamps.(slot) <- t.clock;
+      true
+  | None ->
+      t.misses <- t.misses + 1;
+      let g = t.geometry in
+      let base = Geometry.set_index g addr * g.Geometry.assoc in
+      let victim = ref base in
+      for way = 1 to g.Geometry.assoc - 1 do
+        if t.stamps.(base + way) < t.stamps.(!victim) then victim := base + way
+      done;
+      t.tags.(!victim) <- Geometry.tag g addr;
+      t.stamps.(!victim) <- t.clock;
+      false
+
+let accesses t = t.accesses
+let misses t = t.misses
+
+let miss_rate t =
+  if t.accesses = 0 then 0.0 else float_of_int t.misses /. float_of_int t.accesses
+
+let reset_stats t =
+  t.accesses <- 0;
+  t.misses <- 0
+
+let clear t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Array.fill t.stamps 0 (Array.length t.stamps) 0;
+  t.clock <- 0;
+  reset_stats t

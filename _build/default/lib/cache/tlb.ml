@@ -1,0 +1,21 @@
+type spec = { entries : int; page_bits : int; walk_latency : int }
+
+let default_spec = { entries = 64; page_bits = 13; walk_latency = 30 }
+
+type t = { spec : spec; cache : Sa_cache.t }
+
+let create spec =
+  assert (spec.entries > 0 && spec.entries land (spec.entries - 1) = 0);
+  assert (spec.page_bits >= 6 && spec.walk_latency >= 1);
+  (* A fully-associative cache whose lines are pages is exactly a
+     TLB. *)
+  let page = 1 lsl spec.page_bits in
+  let geometry = Geometry.make ~size:(spec.entries * page) ~assoc:spec.entries ~line:page in
+  { spec; cache = Sa_cache.create geometry }
+
+let spec t = t.spec
+let access t addr = Sa_cache.access t.cache addr
+let accesses t = Sa_cache.accesses t.cache
+let misses t = Sa_cache.misses t.cache
+let miss_rate t = Sa_cache.miss_rate t.cache
+let reset_stats t = Sa_cache.reset_stats t.cache

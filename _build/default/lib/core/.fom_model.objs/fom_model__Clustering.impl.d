@@ -1,0 +1,1 @@
+lib/core/clustering.ml: Iw_characteristic

@@ -1,0 +1,1 @@
+lib/core/clustering.mli: Iw_characteristic

@@ -1,0 +1,1 @@
+lib/core/cpi.ml: Format Inputs Iw_characteristic Params Penalties

@@ -1,0 +1,1 @@
+lib/core/cpi.mli: Format Inputs Iw_characteristic Params

@@ -1,0 +1,1 @@
+lib/core/fu_saturation.ml: Float Fom_isa Iw_characteristic List

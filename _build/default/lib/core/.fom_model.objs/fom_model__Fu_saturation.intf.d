@@ -1,0 +1,1 @@
+lib/core/fu_saturation.mli: Fom_isa Iw_characteristic

@@ -1,0 +1,1 @@
+lib/core/inputs.ml: Float Fom_util

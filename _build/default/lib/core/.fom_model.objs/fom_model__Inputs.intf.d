@@ -1,0 +1,1 @@
+lib/core/inputs.mli: Fom_util

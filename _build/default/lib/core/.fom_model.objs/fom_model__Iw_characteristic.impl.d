@@ -1,0 +1,1 @@
+lib/core/iw_characteristic.ml: Float Fom_util

@@ -1,0 +1,1 @@
+lib/core/iw_characteristic.mli: Fom_util

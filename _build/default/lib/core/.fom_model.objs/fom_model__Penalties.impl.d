@@ -1,0 +1,1 @@
+lib/core/penalties.ml: Float Iw_characteristic Params Transient

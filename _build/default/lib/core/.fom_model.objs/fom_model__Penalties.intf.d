@@ -1,0 +1,1 @@
+lib/core/penalties.mli: Iw_characteristic Params

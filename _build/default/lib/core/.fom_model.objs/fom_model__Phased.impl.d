@@ -1,0 +1,1 @@
+lib/core/phased.ml: Cpi List

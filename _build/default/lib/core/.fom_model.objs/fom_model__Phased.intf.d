@@ -1,0 +1,1 @@
+lib/core/phased.mli: Cpi

@@ -1,0 +1,1 @@
+lib/core/transient.ml: Array Float Iw_characteristic List

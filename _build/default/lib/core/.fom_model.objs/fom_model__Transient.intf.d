@@ -1,0 +1,1 @@
+lib/core/transient.mli: Iw_characteristic

@@ -1,0 +1,1 @@
+lib/core/trends.ml: Array Iw_characteristic List Stdlib Transient

@@ -1,0 +1,1 @@
+lib/core/trends.mli: Iw_characteristic

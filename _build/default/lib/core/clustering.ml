@@ -1,0 +1,8 @@
+let latency_penalty ~clusters ?(bypass = 1.0) ?(deps_per_instr = 1.0) () =
+  assert (clusters >= 1);
+  assert (bypass >= 0.0 && deps_per_instr >= 0.0);
+  deps_per_instr *. bypass *. float_of_int (clusters - 1) /. float_of_int clusters
+
+let effective_characteristic ~clusters ?bypass ?deps_per_instr (iw : Iw_characteristic.t) =
+  let penalty = latency_penalty ~clusters ?bypass ?deps_per_instr () in
+  { iw with Iw_characteristic.avg_latency = iw.Iw_characteristic.avg_latency +. penalty }

@@ -1,0 +1,46 @@
+type t = {
+  name : string;
+  instructions : int;
+  alpha : float;
+  beta : float;
+  fit_r2 : float;
+  avg_latency : float;
+  mispredictions_per_instr : float;
+  mispred_bursts : Fom_util.Distribution.t;
+  l1i_misses_per_instr : float;
+  l2i_misses_per_instr : float;
+  short_misses_per_instr : float;
+  long_misses_per_instr : float;
+  long_miss_groups : Fom_util.Distribution.t;
+  dtlb_misses_per_instr : float;
+  dtlb_groups : Fom_util.Distribution.t;
+}
+
+let frac x = x >= 0.0 && x <= 1.0
+
+let validate t =
+  assert (t.instructions > 0);
+  assert (t.alpha > 0.0);
+  assert (t.beta > 0.0 && t.beta <= 1.0);
+  assert (t.avg_latency >= 1.0);
+  assert (frac t.mispredictions_per_instr);
+  assert (frac t.l1i_misses_per_instr);
+  assert (frac t.l2i_misses_per_instr);
+  assert (frac t.short_misses_per_instr);
+  assert (frac t.long_misses_per_instr);
+  assert (frac t.dtlb_misses_per_instr)
+
+let mispred_burst_mean t =
+  if Fom_util.Distribution.total t.mispred_bursts = 0 then 1.0
+  else Fom_util.Distribution.mean t.mispred_bursts
+
+(* Each group of overlapping misses costs one isolated penalty, so the
+   average per-miss factor is groups/misses = 1/mean-group-size. This
+   equals the paper's sum over the per-miss distribution f_LDM(i)/i. *)
+let group_factor dist =
+  if Fom_util.Distribution.total dist = 0 then 1.0
+  else 1.0 /. Float.max 1.0 (Fom_util.Distribution.mean dist)
+
+let long_group_factor t = group_factor t.long_miss_groups
+let dtlb_group_factor t = group_factor t.dtlb_groups
+let no_dtlb = (0.0, Fom_util.Distribution.create ())

@@ -1,0 +1,35 @@
+type t = {
+  alpha : float;
+  beta : float;
+  avg_latency : float;
+  issue_width : float;
+}
+
+let make ~alpha ~beta ?(avg_latency = 1.0) ?(issue_width = infinity) () =
+  assert (alpha > 0.0);
+  assert (beta > 0.0 && beta <= 1.0);
+  assert (avg_latency >= 1.0);
+  assert (issue_width > 0.0);
+  { alpha; beta; avg_latency; issue_width }
+
+let of_fit ?avg_latency ?issue_width (fit : Fom_util.Fit.power_law) =
+  make ~alpha:fit.Fom_util.Fit.alpha ~beta:fit.Fom_util.Fit.beta ?avg_latency ?issue_width ()
+
+let square_law = make ~alpha:1.0 ~beta:0.5 ()
+
+let unclipped_rate t w =
+  if w <= 0.0 then 0.0 else t.alpha *. Float.pow w t.beta /. t.avg_latency
+
+let issue_rate t w =
+  if w <= 0.0 then 0.0 else Float.min w (Float.min t.issue_width (unclipped_rate t w))
+
+let occupancy_for_rate t rate =
+  assert (rate > 0.0);
+  Float.pow (rate *. t.avg_latency /. t.alpha) (1.0 /. t.beta)
+
+let steady_state_ipc t ~window = issue_rate t (float_of_int window)
+
+let steady_state_occupancy t ~window =
+  let window = float_of_int window in
+  if unclipped_rate t window <= t.issue_width then window
+  else Float.min window (occupancy_for_rate t t.issue_width)

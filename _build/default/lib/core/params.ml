@@ -1,0 +1,32 @@
+type t = {
+  width : int;
+  pipeline_depth : int;
+  window_size : int;
+  rob_size : int;
+  short_delay : int;
+  long_delay : int;
+  dtlb_walk : int;
+  fetch_buffer : int;
+}
+
+let baseline =
+  {
+    width = 4;
+    pipeline_depth = 5;
+    window_size = 48;
+    rob_size = 128;
+    short_delay = 8;
+    long_delay = 200;
+    dtlb_walk = 30;
+    fetch_buffer = 0;
+  }
+
+let validate t =
+  assert (t.width >= 1);
+  assert (t.pipeline_depth >= 1);
+  assert (t.window_size >= 1);
+  assert (t.rob_size >= t.window_size);
+  assert (t.short_delay >= 1);
+  assert (t.long_delay >= t.short_delay);
+  assert (t.dtlb_walk >= 1);
+  assert (t.fetch_buffer >= 0)

@@ -1,0 +1,22 @@
+(** Microarchitecture parameters consumed by the model.
+
+    A deliberately small record: the model needs only the sizes,
+    widths and miss delays — not the detailed simulator's full
+    configuration. *)
+
+type t = {
+  width : int;  (** [i]: fetch = dispatch = issue = retire width *)
+  pipeline_depth : int;  (** front-end depth (the paper's delta-P) *)
+  window_size : int;
+  rob_size : int;
+  short_delay : int;  (** L2 access delay (the paper's delta-I, 8) *)
+  long_delay : int;  (** memory access delay (the paper's delta-D, 200) *)
+  dtlb_walk : int;  (** page-walk delay for the TLB extension *)
+  fetch_buffer : int;  (** fetch-buffer entries for the I-miss extension *)
+}
+
+val baseline : t
+(** The paper's baseline machine: width 4, depth 5, window 48, ROB
+    128, delays 8 and 200. *)
+
+val validate : t -> unit

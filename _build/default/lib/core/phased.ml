@@ -1,0 +1,15 @@
+let combine weighted =
+  assert (weighted <> []);
+  let total = List.fold_left (fun acc (w, _) -> acc +. w) 0.0 weighted in
+  assert (total > 0.0);
+  let mean field =
+    List.fold_left (fun acc (w, b) -> acc +. (w *. field b)) 0.0 weighted /. total
+  in
+  {
+    Cpi.steady = mean (fun b -> b.Cpi.steady);
+    branch = mean (fun b -> b.Cpi.branch);
+    l1i = mean (fun b -> b.Cpi.l1i);
+    l2i = mean (fun b -> b.Cpi.l2i);
+    dcache = mean (fun b -> b.Cpi.dcache);
+    dtlb = mean (fun b -> b.Cpi.dtlb);
+  }

@@ -1,0 +1,14 @@
+(** Per-phase model composition (paper Section 7).
+
+    When a workload's behaviour shifts between regimes, characterize
+    each phase separately and combine the per-phase CPIs weighted by
+    instruction share — CPI is cycles per instruction, so the whole-run
+    CPI is exactly the instruction-weighted mean of the phase CPIs
+    (transient effects at phase boundaries are second-order for phases
+    much longer than a ROB drain). *)
+
+val combine : (float * Cpi.breakdown) list -> Cpi.breakdown
+(** [combine [(w1, b1); ...]] with non-negative weights (instruction
+    shares; they are normalized internally). Each component of the
+    result is the weighted mean of the phase components. Requires a
+    non-empty list with positive total weight. *)

@@ -1,0 +1,72 @@
+module Iw = Iw_characteristic
+
+type result = { cycles : float; instructions : float; penalty : float }
+
+let max_transient_cycles = 10_000
+
+let drain iw ~window =
+  let steady = Iw.steady_state_ipc iw ~window in
+  let rec loop w cycles issued =
+    if w <= 1.0 || cycles >= max_transient_cycles then (cycles, issued)
+    else
+      let rate = Iw.issue_rate iw w in
+      if rate <= 0.0 then (cycles, issued)
+      else loop (w -. rate) (cycles + 1) (issued +. rate)
+  in
+  let cycles, instructions = loop (Iw.steady_state_occupancy iw ~window) 0 0.0 in
+  let cycles = float_of_int cycles in
+  { cycles; instructions; penalty = cycles -. (instructions /. steady) }
+
+let ramp_up ?(epsilon = 0.1) iw ~window =
+  assert (Float.is_finite iw.Iw.issue_width);
+  let steady = Iw.steady_state_ipc iw ~window in
+  let target = (1.0 -. epsilon) *. steady in
+  let cap = float_of_int window in
+  let rec loop w cycles issued =
+    let rate = Iw.issue_rate iw w in
+    if rate >= target || cycles >= max_transient_cycles then (cycles, issued)
+    else
+      let w = Float.min cap (w +. iw.Iw.issue_width -. rate) in
+      loop w (cycles + 1) (issued +. rate)
+  in
+  let cycles, instructions = loop 0.0 0 0.0 in
+  let cycles = float_of_int cycles in
+  { cycles; instructions; penalty = cycles -. (instructions /. steady) }
+
+type interval = {
+  total_cycles : float;
+  ipc : float;
+  issue_per_cycle : float array;
+}
+
+let interval iw ~window ~pipeline_depth ~instructions =
+  assert (Float.is_finite iw.Iw.issue_width);
+  assert (instructions > 0);
+  let cap = float_of_int window in
+  let n = float_of_int instructions in
+  let trace = ref [] in
+  for _ = 1 to pipeline_depth do
+    trace := 0.0 :: !trace
+  done;
+  (* Dispatch runs at the machine width until the interval's
+     instructions are all in flight; issue follows the characteristic;
+     the tail drains naturally. The cycle cap scales with the work:
+     issuing the oldest instruction guarantees progress, so it only
+     guards numerically degenerate characteristics. *)
+  let cycle_cap = (10 * instructions) + max_transient_cycles in
+  let rec loop w dispatched issued cycles =
+    if issued >= n -. 1e-9 || cycles >= cycle_cap then cycles
+    else
+      let rate = Float.min (Iw.issue_rate iw w) (n -. issued) in
+      let dispatch = Float.min iw.Iw.issue_width (n -. dispatched) in
+      let w = Float.min cap (w +. dispatch -. rate) in
+      trace := rate :: !trace;
+      loop w (dispatched +. dispatch) (issued +. rate) (cycles + 1)
+  in
+  let issue_cycles = loop 0.0 0.0 0.0 0 in
+  let total_cycles = float_of_int (pipeline_depth + issue_cycles) in
+  {
+    total_cycles;
+    ipc = n /. total_cycles;
+    issue_per_cycle = Array.of_list (List.rev !trace);
+  }

@@ -1,0 +1,76 @@
+module Iw = Iw_characteristic
+
+let default_mispred_interval = 100
+
+let clip_width iw width = { iw with Iw.issue_width = float_of_int width }
+
+let default_iw = Iw.square_law
+
+let interval_ipc iw ~window ~interval ~width ~depth =
+  let iw = clip_width iw width in
+  (Transient.interval iw ~window ~pipeline_depth:depth ~instructions:interval).Transient.ipc
+
+let ipc_vs_depth ?(iw = default_iw) ?(window = 48) ?(interval = default_mispred_interval)
+    ~widths ~depths () =
+  List.map
+    (fun width ->
+      ( width,
+        List.map (fun depth -> (depth, interval_ipc iw ~window ~interval ~width ~depth)) depths
+      ))
+    widths
+
+let bips_vs_depth ?(iw = default_iw) ?(window = 48) ?(interval = default_mispred_interval)
+    ?(total_logic_ps = 8200.0) ?(overhead_ps = 90.0) ~widths ~depths () =
+  List.map
+    (fun width ->
+      ( width,
+        List.map
+          (fun depth ->
+            let ipc = interval_ipc iw ~window ~interval ~width ~depth in
+            let cycle_ps = (total_logic_ps /. float_of_int depth) +. overhead_ps in
+            (* instructions per picosecond times 1000 = BIPS *)
+            (depth, ipc /. cycle_ps *. 1000.0))
+          depths ))
+    widths
+
+let optimal_depth row =
+  match row with
+  | [] -> invalid_arg "Trends.optimal_depth: empty row"
+  | (d0, b0) :: rest ->
+      fst (List.fold_left (fun (d, b) (d', b') -> if b' > b then (d', b') else (d, b)) (d0, b0) rest)
+
+let fraction_near_width iw ~window ~pipeline_depth ~width ~instructions =
+  let iw = clip_width iw width in
+  let run =
+    Transient.interval iw ~window ~pipeline_depth ~instructions
+  in
+  let threshold = 0.875 *. float_of_int width in
+  let close =
+    Array.fold_left
+      (fun acc rate -> if rate >= threshold then acc + 1 else acc)
+      0 run.Transient.issue_per_cycle
+  in
+  float_of_int close /. float_of_int (Array.length run.Transient.issue_per_cycle)
+
+let mispred_distance_for_fraction ?(iw = default_iw) ?(window = 48) ?(pipeline_depth = 5)
+    ~width ~fraction () =
+  assert (fraction > 0.0 && fraction < 1.0);
+  let window = Stdlib.max window (16 * width * width) in
+  (* The fraction of near-peak cycles grows monotonically with the
+     interval length: binary search for the smallest sufficient
+     distance. *)
+  let feasible n = fraction_near_width iw ~window ~pipeline_depth ~width ~instructions:n >= fraction in
+  let rec grow hi = if feasible hi || hi > 1_000_000 then hi else grow (2 * hi) in
+  let hi = grow 16 in
+  let rec bisect lo hi =
+    if hi - lo <= 1 then hi
+    else
+      let mid = (lo + hi) / 2 in
+      if feasible mid then bisect lo mid else bisect mid hi
+  in
+  bisect 1 hi
+
+let issue_trajectory ?(iw = default_iw) ?(window = 48) ?(pipeline_depth = 5)
+    ?(interval = default_mispred_interval) ~width () =
+  let iw = clip_width iw width in
+  (Transient.interval iw ~window ~pipeline_depth ~instructions:interval).Transient.issue_per_cycle

@@ -1,0 +1,1 @@
+lib/isa/latency.ml: List Opclass

@@ -1,0 +1,1 @@
+lib/isa/latency.mli: Opclass

@@ -1,0 +1,38 @@
+type t = {
+  alu : int;
+  mul : int;
+  div : int;
+  load : int;
+  store : int;
+  branch : int;
+  jump : int;
+}
+
+let unbounded =
+  {
+    alu = max_int;
+    mul = max_int;
+    div = max_int;
+    load = max_int;
+    store = max_int;
+    branch = max_int;
+    jump = max_int;
+  }
+
+let make ?(alu = max_int) ?(mul = max_int) ?(div = max_int) ?(load = max_int)
+    ?(store = max_int) ?(branch = max_int) ?(jump = max_int) () =
+  let t = { alu; mul; div; load; store; branch; jump } in
+  assert (alu >= 1 && mul >= 1 && div >= 1 && load >= 1);
+  assert (store >= 1 && branch >= 1 && jump >= 1);
+  t
+
+let of_class t = function
+  | Opclass.Alu -> t.alu
+  | Opclass.Mul -> t.mul
+  | Opclass.Div -> t.div
+  | Opclass.Load -> t.load
+  | Opclass.Store -> t.store
+  | Opclass.Branch -> t.branch
+  | Opclass.Jump -> t.jump
+
+let is_unbounded t = t = unbounded

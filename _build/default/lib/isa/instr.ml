@@ -1,0 +1,34 @@
+type ctrl = { target : int; taken : bool }
+
+type t = {
+  index : int;
+  pc : int;
+  opclass : Opclass.t;
+  dst : Reg.t option;
+  srcs : Reg.t list;
+  deps : int array;
+  mem : int option;
+  ctrl : ctrl option;
+}
+
+let make ~index ~pc ~opclass ?dst ?(srcs = []) ?(deps = [||]) ?mem ?ctrl () =
+  assert (index >= 0);
+  assert (List.length srcs <= 2);
+  assert (Array.for_all (fun d -> d >= 0 && d < index) deps);
+  assert (Opclass.is_memory opclass = Option.is_some mem);
+  assert (Opclass.is_control opclass = Option.is_some ctrl);
+  { index; pc; opclass; dst; srcs; deps; mem; ctrl }
+
+let is_load t = Opclass.equal t.opclass Opclass.Load
+let is_store t = Opclass.equal t.opclass Opclass.Store
+let is_branch t = Opclass.equal t.opclass Opclass.Branch
+let is_control t = Opclass.is_control t.opclass
+
+let pp fmt t =
+  Format.fprintf fmt "#%d pc=0x%x %a" t.index t.pc Opclass.pp t.opclass;
+  Option.iter (fun d -> Format.fprintf fmt " %a<-" Reg.pp d) t.dst;
+  List.iter (fun s -> Format.fprintf fmt " %a" Reg.pp s) t.srcs;
+  Option.iter (fun a -> Format.fprintf fmt " [0x%x]" a) t.mem;
+  Option.iter
+    (fun c -> Format.fprintf fmt " %s->0x%x" (if c.taken then "T" else "N") c.target)
+    t.ctrl

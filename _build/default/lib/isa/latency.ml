@@ -1,0 +1,28 @@
+type t = { alu : int; mul : int; div : int; load : int; store : int; branch : int; jump : int }
+
+let check t =
+  assert (t.alu >= 1 && t.mul >= 1 && t.div >= 1 && t.load >= 1);
+  assert (t.store >= 1 && t.branch >= 1 && t.jump >= 1);
+  t
+
+let default = check { alu = 1; mul = 3; div = 12; load = 1; store = 1; branch = 1; jump = 1 }
+let unit = check { alu = 1; mul = 1; div = 1; load = 1; store = 1; branch = 1; jump = 1 }
+
+let make ?(alu = default.alu) ?(mul = default.mul) ?(div = default.div)
+    ?(load = default.load) ?(store = default.store) ?(branch = default.branch)
+    ?(jump = default.jump) () =
+  check { alu; mul; div; load; store; branch; jump }
+
+let of_class t = function
+  | Opclass.Alu -> t.alu
+  | Opclass.Mul -> t.mul
+  | Opclass.Div -> t.div
+  | Opclass.Load -> t.load
+  | Opclass.Store -> t.store
+  | Opclass.Branch -> t.branch
+  | Opclass.Jump -> t.jump
+
+let average t weight =
+  List.fold_left
+    (fun acc cls -> acc +. (weight cls *. float_of_int (of_class t cls)))
+    0.0 Opclass.all

@@ -1,0 +1,32 @@
+(** Execution latencies per operation class.
+
+    A latency profile assigns each {!Opclass.t} a fixed functional-unit
+    latency in cycles. Loads are assigned their cache-hit latency here;
+    cache misses add delay on top (short misses behave like long-latency
+    functional units, long misses stall retirement — paper Section 4.3).
+    The [unit] profile (all ones) is used when measuring the
+    implementation-independent IW characteristic (paper Section 3). *)
+
+type t
+(** An immutable latency profile. *)
+
+val default : t
+(** Realistic profile: alu/store/branch/jump 1, load 1 (L1 hit),
+    mul 3, div 12. *)
+
+val unit : t
+(** All classes take one cycle — the paper's unit-latency IW setting. *)
+
+val make :
+  ?alu:int -> ?mul:int -> ?div:int -> ?load:int -> ?store:int ->
+  ?branch:int -> ?jump:int -> unit -> t
+(** Build a custom profile; omitted classes use the {!default} values.
+    All latencies must be at least 1. *)
+
+val of_class : t -> Opclass.t -> int
+(** Latency of a class under this profile. *)
+
+val average : t -> (Opclass.t -> float) -> float
+(** [average t weight] is the mix-weighted mean latency given a weight
+    (fraction of dynamic instructions) per class. This is the [L] of the
+    paper's Little's-law correction [I_L = I_1 / L]. *)

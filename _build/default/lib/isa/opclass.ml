@@ -1,0 +1,17 @@
+type t = Alu | Mul | Div | Load | Store | Branch | Jump
+
+let all = [ Alu; Mul; Div; Load; Store; Branch; Jump ]
+let is_memory = function Load | Store -> true | Alu | Mul | Div | Branch | Jump -> false
+let is_control = function Branch | Jump -> true | Alu | Mul | Div | Load | Store -> false
+
+let to_string = function
+  | Alu -> "alu"
+  | Mul -> "mul"
+  | Div -> "div"
+  | Load -> "load"
+  | Store -> "store"
+  | Branch -> "branch"
+  | Jump -> "jump"
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+let equal a b = a = b

@@ -1,0 +1,30 @@
+(** Operation classes of the synthetic RISC-like ISA.
+
+    The modeled machine has an unbounded number of functional units of
+    each type (paper, Section 1), so an operation class only determines
+    the execution latency and whether the instruction touches memory or
+    redirects control. *)
+
+type t =
+  | Alu  (** single-cycle integer operation *)
+  | Mul  (** integer multiply *)
+  | Div  (** integer divide (long-latency) *)
+  | Load  (** memory read; latency also depends on the data cache *)
+  | Store  (** memory write *)
+  | Branch  (** conditional branch *)
+  | Jump  (** unconditional direct jump / call / return *)
+
+val all : t list
+(** Every class, in declaration order. *)
+
+val is_memory : t -> bool
+(** Loads and stores. *)
+
+val is_control : t -> bool
+(** Branches and jumps. *)
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+val equal : t -> t -> bool

@@ -1,0 +1,13 @@
+type t = int
+
+let count = 32
+
+let of_int i =
+  assert (i >= 0 && i < count);
+  i
+
+let to_int r = r
+let zero_reg = 0
+let is_zero r = r = 0
+let pp fmt r = Format.fprintf fmt "r%d" r
+let equal = Int.equal

@@ -1,0 +1,1 @@
+lib/trace/address_gen.ml: Fom_util

@@ -1,0 +1,1 @@
+lib/trace/address_gen.mli: Fom_util

@@ -1,0 +1,1 @@
+lib/trace/branch_behavior.ml: Array Fom_util

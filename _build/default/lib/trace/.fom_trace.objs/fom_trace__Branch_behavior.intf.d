@@ -1,0 +1,1 @@
+lib/trace/branch_behavior.mli: Fom_util

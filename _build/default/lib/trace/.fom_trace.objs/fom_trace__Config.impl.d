@@ -1,0 +1,1 @@
+lib/trace/config.ml: Array Float Fom_isa

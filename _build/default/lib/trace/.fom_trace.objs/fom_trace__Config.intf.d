@@ -1,0 +1,1 @@
+lib/trace/config.mli: Fom_isa

@@ -1,0 +1,1 @@
+lib/trace/phases.ml: Array Config Fom_isa List Option Program Source Stream String

@@ -1,0 +1,1 @@
+lib/trace/phases.mli: Config Source

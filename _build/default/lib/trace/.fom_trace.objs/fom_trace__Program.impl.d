@@ -1,0 +1,1 @@
+lib/trace/program.ml: Address_gen Array Branch_behavior Config Float Fom_isa Fom_util List

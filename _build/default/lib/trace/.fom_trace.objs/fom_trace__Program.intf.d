@@ -1,0 +1,1 @@
+lib/trace/program.mli: Address_gen Branch_behavior Config Fom_isa

@@ -1,0 +1,1 @@
+lib/trace/source.ml: Array Config Fom_isa Fun List Printf Program Stream String

@@ -1,0 +1,1 @@
+lib/trace/source.mli: Fom_isa Program

@@ -1,0 +1,1 @@
+lib/trace/stream.ml: Address_gen Array Branch_behavior Config Fom_isa Fom_util Option Program Stdlib

@@ -1,0 +1,1 @@
+lib/trace/stream.mli: Fom_isa Program

@@ -1,0 +1,32 @@
+type kind = Stride of { stride : int } | Random | Chase
+
+type region = { base : int; size : int }
+
+type t = {
+  kind : kind;
+  region : region;
+  rng : Fom_util.Rng.t;
+  mutable offset : int;
+}
+
+let create ?seed_rng kind region =
+  assert (region.size > 0 && region.size mod 8 = 0);
+  (match kind with Stride { stride } -> assert (stride > 0 && stride mod 8 = 0) | Random | Chase -> ());
+  let rng = match seed_rng with Some r -> Fom_util.Rng.split r | None -> Fom_util.Rng.create 0 in
+  { kind; region; rng; offset = 0 }
+
+let kind t = t.kind
+let region t = t.region
+
+let align8 x = x land lnot 7
+
+let next t =
+  match t.kind with
+  | Stride { stride } ->
+      let addr = t.region.base + t.offset in
+      t.offset <- (t.offset + stride) mod t.region.size;
+      addr
+  | Random | Chase ->
+      t.region.base + align8 (Fom_util.Rng.int t.rng t.region.size)
+
+let is_chase t = match t.kind with Chase -> true | Stride _ | Random -> false

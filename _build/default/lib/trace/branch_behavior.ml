@@ -1,0 +1,36 @@
+type kind =
+  | Biased of float
+  | Loop of int
+  | Pattern of bool array
+  | Chaotic of float
+
+type t = { kind : kind; rng : Fom_util.Rng.t; mutable step : int }
+
+let create ?seed_rng kind =
+  (match kind with
+  | Biased p | Chaotic p -> assert (p >= 0.0 && p <= 1.0)
+  | Loop trip -> assert (trip >= 1)
+  | Pattern a -> assert (Array.length a > 0));
+  let rng = match seed_rng with Some r -> Fom_util.Rng.split r | None -> Fom_util.Rng.create 0 in
+  { kind; rng; step = 0 }
+
+let kind t = t.kind
+
+let next t =
+  match t.kind with
+  | Biased p | Chaotic p -> Fom_util.Rng.bernoulli t.rng p
+  | Loop trip ->
+      let taken = t.step < trip - 1 in
+      t.step <- (t.step + 1) mod trip;
+      taken
+  | Pattern a ->
+      let out = a.(t.step) in
+      t.step <- (t.step + 1) mod Array.length a;
+      out
+
+let expected_taken_rate = function
+  | Biased p | Chaotic p -> p
+  | Loop trip -> float_of_int (trip - 1) /. float_of_int trip
+  | Pattern a ->
+      let taken = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 a in
+      float_of_int taken /. float_of_int (Array.length a)

@@ -1,0 +1,98 @@
+type mix = {
+  load : float;
+  store : float;
+  branch : float;
+  jump : float;
+  mul : float;
+  div : float;
+}
+
+type deps = {
+  short_p : float;
+  short_mean : float;
+  long_max : int;
+  nsrc_weights : float array;
+}
+
+type control = {
+  regions : int;
+  blocks_per_region : int;
+  chaotic_frac : float;
+  chaotic_low : float;
+  chaotic_high : float;
+  pattern_frac : float;
+  pattern_max_period : int;
+  loop_trip_mean : float;
+  bias : float;
+}
+
+type memory = {
+  local_frac : float;
+  random_frac : float;
+  stream_frac : float;
+  chase_frac : float;
+  local_region : int;
+  random_region : int;
+  stream_region : int;
+  chase_region : int;
+  stream_stride : int;
+  chase_chains : int;
+}
+
+type t = {
+  name : string;
+  seed : int;
+  mix : mix;
+  deps : deps;
+  control : control;
+  memory : memory;
+  latencies : Fom_isa.Latency.t;
+}
+
+let frac x = x >= 0.0 && x <= 1.0
+
+let validate t =
+  let m = t.mix in
+  assert (frac m.load && frac m.store && frac m.branch && frac m.jump);
+  assert (frac m.mul && frac m.div);
+  assert (m.load +. m.store +. m.branch +. m.jump +. m.mul +. m.div <= 1.0 +. 1e-9);
+  assert (m.branch +. m.jump > 0.0);
+  let d = t.deps in
+  assert (frac d.short_p);
+  assert (d.short_mean >= 1.0);
+  assert (d.long_max >= 1);
+  assert (Array.length d.nsrc_weights = 3);
+  assert (Array.for_all (fun w -> w >= 0.0) d.nsrc_weights);
+  assert (Array.fold_left ( +. ) 0.0 d.nsrc_weights > 0.0);
+  let c = t.control in
+  assert (c.regions >= 1 && c.blocks_per_region >= 2);
+  assert (frac c.chaotic_frac && frac c.pattern_frac);
+  assert (c.chaotic_frac +. c.pattern_frac <= 1.0 +. 1e-9);
+  assert (frac c.chaotic_low && frac c.chaotic_high && c.chaotic_low <= c.chaotic_high);
+  assert (c.pattern_max_period >= 2);
+  assert (c.loop_trip_mean >= 2.0);
+  assert (frac c.bias);
+  let mm = t.memory in
+  assert (frac mm.local_frac && frac mm.random_frac && frac mm.stream_frac && frac mm.chase_frac);
+  let total = mm.local_frac +. mm.random_frac +. mm.stream_frac +. mm.chase_frac in
+  assert (Float.abs (total -. 1.0) < 1e-6);
+  assert (mm.local_region > 0 && mm.random_region > 0 && mm.stream_region > 0 && mm.chase_region > 0);
+  assert (mm.stream_stride > 0 && mm.stream_stride mod 8 = 0);
+  assert (mm.chase_chains >= 0)
+
+let alu_frac t =
+  let m = t.mix in
+  1.0 -. (m.load +. m.store +. m.branch +. m.jump +. m.mul +. m.div)
+
+let mean_block_len t = 1.0 /. (t.mix.branch +. t.mix.jump)
+
+let class_weight t cls =
+  let m = t.mix in
+  match cls with
+  | Fom_isa.Opclass.Alu -> alu_frac t
+  | Fom_isa.Opclass.Mul -> m.mul
+  | Fom_isa.Opclass.Div -> m.div
+  | Fom_isa.Opclass.Load -> m.load
+  | Fom_isa.Opclass.Store -> m.store
+  | Fom_isa.Opclass.Branch -> m.branch
+  | Fom_isa.Opclass.Jump -> m.jump

@@ -1,0 +1,49 @@
+module Instr = Fom_isa.Instr
+
+type phase = { config : Config.t; instructions : int }
+
+let schedule_length phases = List.fold_left (fun acc p -> acc + p.instructions) 0 phases
+
+let source phases =
+  assert (phases <> []);
+  List.iter (fun p -> assert (p.instructions > 0)) phases;
+  let programs = List.map (fun p -> (Program.generate p.config, p.instructions)) phases in
+  let label =
+    String.concat "+" (List.map (fun p -> p.config.Config.name) phases)
+  in
+  let fresh () =
+    let remaining = ref [] in
+    let current = ref None in
+    let phase_base = ref 0 in
+    let produced_in_phase = ref 0 in
+    let global = ref 0 in
+    let activate () =
+      (match !remaining with
+      | [] -> remaining := programs
+      | _ -> ());
+      match !remaining with
+      | (program, budget) :: rest ->
+          remaining := rest;
+          current := Some (Stream.create program, budget);
+          phase_base := !global;
+          produced_in_phase := 0
+      | [] -> assert false
+    in
+    fun () ->
+      (match !current with
+      | Some (_, budget) when !produced_in_phase < budget -> ()
+      | Some _ | None -> activate ());
+      let stream, _ = Option.get !current in
+      let ins = Stream.next stream in
+      incr produced_in_phase;
+      let index = !global in
+      incr global;
+      (* Rebase the phase-local index and dependences to the global
+         numbering. *)
+      {
+        ins with
+        Instr.index;
+        deps = Array.map (fun d -> d + !phase_base) ins.Instr.deps;
+      }
+  in
+  Source.of_factory ~label fresh

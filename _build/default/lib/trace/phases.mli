@@ -1,0 +1,26 @@
+(** Phased workloads.
+
+    The paper notes (Section 7) that workloads whose behaviour shifts
+    over time may need each *phase* modeled separately, with the
+    results combined — a single set of whole-trace statistics blurs
+    distinct regimes (one IW fit across phases with different ILP, one
+    miss-group distribution across different locality patterns).
+
+    A phase schedule concatenates synthetic workloads: each phase runs
+    its config's trace for its instruction budget, then the next phase
+    begins; after the last phase the schedule repeats. Dynamic indices
+    are globally sequential and dependences never cross a phase
+    boundary (each activation restarts the phase's stream — the
+    regime change is a working-set change, as in real programs). *)
+
+type phase = {
+  config : Config.t;
+  instructions : int;  (** phase length per activation (> 0) *)
+}
+
+val source : phase list -> Source.t
+(** A replayable source cycling through the schedule. The label joins
+    the phase names. Requires a non-empty schedule. *)
+
+val schedule_length : phase list -> int
+(** Instructions in one full pass of the schedule. *)

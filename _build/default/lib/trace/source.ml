@@ -1,0 +1,142 @@
+module Instr = Fom_isa.Instr
+module Opclass = Fom_isa.Opclass
+module Reg = Fom_isa.Reg
+
+type t = { label : string; fresh : unit -> unit -> Instr.t }
+
+let label t = t.label
+let fresh t = t.fresh ()
+let of_factory ~label fresh = { label; fresh }
+
+let of_program program =
+  {
+    label = program.Program.config.Config.name;
+    fresh =
+      (fun () ->
+        let stream = Stream.create program in
+        fun () -> Stream.next stream);
+  }
+
+let of_instrs ?(label = "recorded") instrs =
+  assert (Array.length instrs > 0);
+  Array.iteri (fun i (ins : Instr.t) -> assert (ins.Instr.index = i)) instrs;
+  let len = Array.length instrs in
+  {
+    label;
+    fresh =
+      (fun () ->
+        let position = ref 0 in
+        fun () ->
+          let p = !position in
+          incr position;
+          let k = p / len and off = p mod len in
+          if k = 0 then instrs.(off)
+          else
+            (* Wrapped replay: re-base indices and dependences by the
+               number of completed copies. *)
+            let ins = instrs.(off) in
+            {
+              ins with
+              Instr.index = p;
+              deps = Array.map (fun d -> d + (k * len)) ins.Instr.deps;
+            });
+  }
+
+let record t ~n =
+  let next = fresh t in
+  Array.init n (fun _ -> next ())
+
+(* --- text format --- *)
+
+let format_magic = "fom-trace 1"
+
+let class_of_string s =
+  List.find_opt (fun c -> String.equal (Opclass.to_string c) s) Opclass.all
+
+let save ~path t ~n =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (format_magic ^ "\n");
+      let next = fresh t in
+      for _ = 1 to n do
+        let ins = next () in
+        let mem = match ins.Instr.mem with Some a -> Printf.sprintf "%x" a | None -> "-" in
+        let dir, target =
+          match ins.Instr.ctrl with
+          | Some c -> ((if c.Instr.taken then "T" else "N"), Printf.sprintf "%x" c.Instr.target)
+          | None -> ("-", "-")
+        in
+        let deps =
+          ins.Instr.deps |> Array.to_list |> List.map string_of_int |> String.concat " "
+        in
+        Printf.fprintf oc "%s %x %s %s %s%s%s\n"
+          (Opclass.to_string ins.Instr.opclass)
+          ins.Instr.pc mem dir target
+          (if deps = "" then "" else " ")
+          deps
+      done)
+
+let parse_line ~index ~next_dst line =
+  match String.split_on_char ' ' (String.trim line) with
+  | cls_s :: pc_s :: mem_s :: dir_s :: target_s :: dep_fields -> (
+      match class_of_string cls_s with
+      | None -> failwith (Printf.sprintf "unknown instruction class %S in %S" cls_s line)
+      | Some opclass ->
+          let parse_hex what s =
+            match int_of_string_opt ("0x" ^ s) with
+            | Some v -> v
+            | None -> failwith (Printf.sprintf "bad %s %S in %S" what s line)
+          in
+          let pc = parse_hex "pc" pc_s in
+          let mem = if mem_s = "-" then None else Some (parse_hex "address" mem_s) in
+          let ctrl =
+            match (dir_s, target_s) with
+            | "-", "-" -> None
+            | dir, target ->
+                Some { Instr.target = parse_hex "target" target; taken = dir = "T" }
+          in
+          let deps =
+            dep_fields
+            |> List.filter (fun f -> f <> "")
+            |> List.map (fun f ->
+                   match int_of_string_opt f with
+                   | Some d when d >= 0 && d < index -> d
+                   | Some _ -> failwith (Printf.sprintf "dependence %s not before line in %S" f line)
+                   | None -> failwith (Printf.sprintf "bad dependence %S in %S" f line))
+            |> Array.of_list
+          in
+          let dst =
+            match opclass with
+            | Opclass.Alu | Opclass.Mul | Opclass.Div | Opclass.Load ->
+                next_dst := (!next_dst mod (Reg.count - 1)) + 1;
+                Some (Reg.of_int !next_dst)
+            | Opclass.Store | Opclass.Branch | Opclass.Jump -> None
+          in
+          Instr.make ~index ~pc ~opclass ?dst ~deps ?mem ?ctrl ())
+  | _ -> failwith (Printf.sprintf "malformed trace line %S" line)
+
+let load ~path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      (match input_line ic with
+      | magic when String.trim magic = format_magic -> ()
+      | magic -> failwith (Printf.sprintf "not a fom trace (header %S)" magic)
+      | exception End_of_file -> failwith "empty trace file");
+      let next_dst = ref 0 in
+      let instrs = ref [] in
+      let index = ref 0 in
+      (try
+         while true do
+           let line = input_line ic in
+           if String.trim line <> "" then begin
+             instrs := parse_line ~index:!index ~next_dst line :: !instrs;
+             incr index
+           end
+         done
+       with End_of_file -> ());
+      if !instrs = [] then failwith "trace file has no instructions";
+      of_instrs ~label:path (Array.of_list (List.rev !instrs)))

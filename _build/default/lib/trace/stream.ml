@@ -1,0 +1,176 @@
+module Rng = Fom_util.Rng
+module Instr = Fom_isa.Instr
+module Opclass = Fom_isa.Opclass
+module Reg = Fom_isa.Reg
+
+(* Ring buffer of recent value-producing instructions: (dynamic index,
+   destination register). Dependence distances are sampled in this
+   producers-back space. *)
+type ring = {
+  idx : int array;
+  reg : int array;
+  mutable head : int;
+  mutable count : int;
+}
+
+let ring_create capacity =
+  { idx = Array.make capacity (-1); reg = Array.make capacity 0; head = 0; count = 0 }
+
+let ring_push r index reg =
+  r.idx.(r.head) <- index;
+  r.reg.(r.head) <- reg;
+  r.head <- (r.head + 1) mod Array.length r.idx;
+  if r.count < Array.length r.idx then r.count <- r.count + 1
+
+(* [ring_get r d] returns the producer [d] places back, 1 = newest. *)
+let ring_get r d =
+  assert (d >= 1 && d <= r.count);
+  let cap = Array.length r.idx in
+  let pos = (r.head - d + cap + cap) mod cap in
+  (r.idx.(pos), r.reg.(pos))
+
+type t = {
+  program : Program.t;
+  rng : Rng.t;  (* dependence-distance sampling *)
+  agens : Address_gen.t option array;  (* per static uid *)
+  behaviors : Branch_behavior.t option array;
+  last_instance : int array;  (* last dynamic index per chase chain *)
+  chase_chains : int;  (* 0 = one chain per static chase load *)
+  ring : ring;
+  mutable stack : int list;  (* return blocks for call-style jumps *)
+  mutable stack_depth : int;
+  mutable index : int;
+  mutable block : int;
+  mutable pos : int;  (* offset of the next instruction within block *)
+}
+
+(* Calls nest one level: a called region executes with further calls
+   elided. Anything deeper lets call cycles pin the stack and freeze
+   the outer region progression, starving whole regions of the code
+   footprint; one bounded excursion per call keeps block visits
+   uniform while still exercising far control transfers. *)
+let max_call_depth = 1
+
+let create program =
+  let config = program.Program.config in
+  let seed_rng = Rng.create (config.Config.seed lxor 0x57AE) in
+  let n = Program.static_count program in
+  let agens = Array.make n None in
+  let behaviors = Array.make n None in
+  Array.iter
+    (fun (s : Program.static) ->
+      (match s.agen_spec with
+      | Some (kind, region) ->
+          agens.(s.uid) <- Some (Address_gen.create ~seed_rng kind region)
+      | None -> ());
+      match s.behavior_spec with
+      | Some kind -> behaviors.(s.uid) <- Some (Branch_behavior.create ~seed_rng kind)
+      | None -> ())
+    program.Program.statics;
+  {
+    program;
+    rng = Rng.split seed_rng;
+    agens;
+    behaviors;
+    last_instance = Array.make (Stdlib.max n 1) (-1);
+    chase_chains = config.Config.memory.Config.chase_chains;
+    ring = ring_create (Stdlib.max 64 config.Config.deps.long_max);
+    stack = [];
+    stack_depth = 0;
+    index = 0;
+    block = Program.entry program;
+    pos = 0;
+  }
+
+let sample_dep t =
+  let deps = t.program.Program.config.Config.deps in
+  if t.ring.count = 0 then None
+  else
+    let d =
+      if Rng.bernoulli t.rng deps.short_p then
+        1 + Rng.geometric t.rng (1.0 /. deps.short_mean)
+      else 1 + Rng.int t.rng deps.long_max
+    in
+    let d = Stdlib.min d t.ring.count in
+    Some (ring_get t.ring d)
+
+let sample_deps t nsrc =
+  let rec loop n acc_deps acc_srcs =
+    if n = 0 then (acc_deps, acc_srcs)
+    else
+      match sample_dep t with
+      | None -> (acc_deps, acc_srcs)
+      | Some (idx, reg) -> loop (n - 1) (idx :: acc_deps) (Reg.of_int reg :: acc_srcs)
+  in
+  let deps, srcs = loop nsrc [] [] in
+  (Array.of_list deps, srcs)
+
+let next t =
+  let program = t.program in
+  let blk = program.Program.blocks.(t.block) in
+  let s = program.Program.statics.(blk.first + t.pos) in
+  let index = t.index in
+  t.index <- index + 1;
+  let is_terminator = t.pos = blk.len - 1 in
+  if is_terminator then t.pos <- 0 else t.pos <- t.pos + 1;
+  let mem = Option.map (fun _ -> Address_gen.next (Option.get t.agens.(s.uid))) s.agen_spec in
+  let chain = if t.chase_chains > 0 then s.uid mod t.chase_chains else s.uid in
+  let deps, srcs =
+    if s.chase && t.last_instance.(chain) >= 0 then
+      (* Pointer chase: serialized on the previous load of its chain;
+         the source register is that load's result. *)
+      ([| t.last_instance.(chain) |], [ Option.get s.dst ])
+    else sample_deps t s.nsrc
+  in
+  if s.chase then t.last_instance.(chain) <- index;
+  let ctrl =
+    match s.opclass with
+    | Opclass.Jump ->
+        (* Call: remember where to resume once the callee region
+           completes; at the depth cap the call is elided and the walk
+           falls through. *)
+        let succ =
+          if t.stack_depth < max_call_depth then begin
+            t.stack <- blk.fall_succ :: t.stack;
+            t.stack_depth <- t.stack_depth + 1;
+            blk.taken_succ
+          end
+          else blk.fall_succ
+        in
+        let target_blk = program.Program.blocks.(succ) in
+        t.block <- succ;
+        Some { Instr.target = program.Program.statics.(target_blk.first).pc; taken = true }
+    | Opclass.Branch ->
+        let taken = Branch_behavior.next (Option.get t.behaviors.(s.uid)) in
+        let is_loop_exit = (not taken) && blk.taken_succ <= t.block in
+        let succ =
+          if taken then blk.taken_succ
+          else
+            match (is_loop_exit, t.stack) with
+            | true, return :: rest ->
+                (* Region completed: return to the pending caller. *)
+                t.stack <- rest;
+                t.stack_depth <- t.stack_depth - 1;
+                return
+            | true, [] | false, _ -> blk.fall_succ
+        in
+        let target_blk = program.Program.blocks.(blk.taken_succ) in
+        t.block <- succ;
+        Some { Instr.target = program.Program.statics.(target_blk.first).pc; taken }
+    | Opclass.Alu | Opclass.Mul | Opclass.Div | Opclass.Load | Opclass.Store -> None
+  in
+  let instr =
+    Instr.make ~index ~pc:s.pc ~opclass:s.opclass ?dst:s.dst ~srcs ~deps ?mem ?ctrl ()
+  in
+  Option.iter (fun d -> ring_push t.ring index (Reg.to_int d)) s.dst;
+  instr
+
+let iter program ~n f =
+  let t = create program in
+  for _ = 1 to n do
+    f (next t)
+  done
+
+let collect program ~n =
+  let t = create program in
+  Array.init n (fun _ -> next t)

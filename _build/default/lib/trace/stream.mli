@@ -1,0 +1,25 @@
+(** Dynamic instruction streams.
+
+    A stream walks the program's control-flow graph forever, emitting
+    {!Fom_isa.Instr.t} records in program order. All mutable state
+    (address generators, branch behaviours, dependence sampling) is
+    instantiated at {!create}, so two streams over the same program are
+    identical instruction-for-instruction — the detailed simulator, the
+    functional profilers and the idealized IW simulation all observe
+    the same trace. *)
+
+type t
+
+val create : Program.t -> t
+(** Fresh stream positioned at the program entry, instruction 0. *)
+
+val next : t -> Fom_isa.Instr.t
+(** Emit the next dynamic instruction. Never fails: the synthetic walk
+    is infinite. *)
+
+val iter : Program.t -> n:int -> (Fom_isa.Instr.t -> unit) -> unit
+(** [iter program ~n f] applies [f] to the first [n] instructions of a
+    fresh stream. *)
+
+val collect : Program.t -> n:int -> Fom_isa.Instr.t array
+(** First [n] instructions of a fresh stream, materialized. *)

@@ -1,0 +1,1 @@
+lib/uarch/config.ml: Fom_branch Fom_cache Fom_isa Option

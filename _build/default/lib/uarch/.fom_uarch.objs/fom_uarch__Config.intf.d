@@ -1,0 +1,1 @@
+lib/uarch/config.mli: Fom_branch Fom_cache Fom_isa

@@ -1,0 +1,1 @@
+lib/uarch/machine.ml: Array Config Fom_branch Fom_cache Fom_isa Fom_util List Option Queue Stats Stdlib

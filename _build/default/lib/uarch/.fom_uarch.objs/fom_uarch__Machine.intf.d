@@ -1,0 +1,1 @@
+lib/uarch/machine.mli: Config Fom_isa Stats

@@ -1,0 +1,1 @@
+lib/uarch/simulate.ml: Fom_trace Machine Stats

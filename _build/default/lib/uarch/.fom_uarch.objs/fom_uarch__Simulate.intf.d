@@ -1,0 +1,1 @@
+lib/uarch/simulate.mli: Config Fom_trace Stats

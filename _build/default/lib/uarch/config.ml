@@ -1,0 +1,58 @@
+type t = {
+  width : int;
+  pipeline_depth : int;
+  window_size : int;
+  rob_size : int;
+  unbounded_issue : bool;
+  latencies : Fom_isa.Latency.t;
+  cache : Fom_cache.Hierarchy.config;
+  predictor : Fom_branch.Predictor.spec;
+  fu_limits : Fom_isa.Fu_set.t;
+  dtlb : Fom_cache.Tlb.spec option;
+  fetch_buffer : int;
+  clusters : int;
+}
+
+let baseline =
+  {
+    width = 4;
+    pipeline_depth = 5;
+    window_size = 48;
+    rob_size = 128;
+    unbounded_issue = false;
+    latencies = Fom_isa.Latency.default;
+    cache = Fom_cache.Hierarchy.baseline;
+    predictor = Fom_branch.Predictor.default_spec;
+    fu_limits = Fom_isa.Fu_set.unbounded;
+    dtlb = None;
+    fetch_buffer = 0;
+    clusters = 1;
+  }
+
+let validate t =
+  assert (t.width >= 1);
+  assert (t.pipeline_depth >= 1);
+  assert (t.window_size >= 1);
+  assert (t.rob_size >= t.window_size);
+  assert (t.fetch_buffer >= 0);
+  assert (t.clusters >= 1);
+  assert (t.width mod t.clusters = 0);
+  assert (t.window_size mod t.clusters = 0)
+
+let ideal ?width ?window_size t =
+  {
+    t with
+    width = Option.value width ~default:t.width;
+    window_size = Option.value window_size ~default:t.window_size;
+    cache = Fom_cache.Hierarchy.all_ideal;
+    predictor = Fom_branch.Predictor.Ideal;
+  }
+
+let with_cache cache t = { t with cache }
+let with_predictor predictor t = { t with predictor }
+let with_depth pipeline_depth t = { t with pipeline_depth }
+let with_width width t = { t with width }
+let with_fu_limits fu_limits t = { t with fu_limits }
+let with_dtlb spec t = { t with dtlb = Some spec }
+let with_fetch_buffer fetch_buffer t = { t with fetch_buffer }
+let with_clusters clusters t = { t with clusters }

@@ -1,0 +1,51 @@
+(** Machine configuration for the detailed simulator.
+
+    The modeled processor is the paper's first-order superscalar
+    machine (Section 1): a single homogeneous issue window with
+    oldest-first out-of-order issue, a separate reorder buffer, equal
+    fetch/pipeline/dispatch/issue/retire width [i], a parameterized
+    front-end depth, unbounded functional units of each type, and
+    caches and a branch predictor but no prefetching. *)
+
+type t = {
+  width : int;  (** [i]: fetch = dispatch = issue = retire width *)
+  pipeline_depth : int;  (** front-end stages between fetch and dispatch *)
+  window_size : int;  (** issue window entries *)
+  rob_size : int;  (** reorder buffer entries *)
+  unbounded_issue : bool;  (** ignore [width] at issue (IW measurements) *)
+  latencies : Fom_isa.Latency.t;
+  cache : Fom_cache.Hierarchy.config;
+  predictor : Fom_branch.Predictor.spec;
+  (* Section 7 extensions — all disabled on the paper's baseline. *)
+  fu_limits : Fom_isa.Fu_set.t;  (** per-class functional-unit counts *)
+  dtlb : Fom_cache.Tlb.spec option;  (** data TLB; [None] = perfect *)
+  fetch_buffer : int;  (** extra fetch-buffer entries past the pipe *)
+  clusters : int;
+      (** issue-window partitions: dispatch steers round-robin, each
+          cluster issues [width/clusters] per cycle from its
+          [window_size/clusters] entries, and consuming a value
+          produced in another cluster costs one bypass cycle. 1 =
+          the paper's unified window. Must divide both the width and
+          the window size. *)
+}
+
+val baseline : t
+(** The paper's baseline: width 4, five front-end stages, a 48-entry
+    window, a 128-entry ROB, 4K/4-way L1s under a 512K L2 and an
+    8K-entry gShare. *)
+
+val validate : t -> unit
+(** Assert structural sanity (positive sizes, window <= ROB). *)
+
+val ideal : ?width:int -> ?window_size:int -> t -> t
+(** Idealize a configuration: perfect caches and branch prediction,
+    keeping sizes from the base (with optional overrides). *)
+
+val with_cache : Fom_cache.Hierarchy.config -> t -> t
+val with_predictor : Fom_branch.Predictor.spec -> t -> t
+val with_depth : int -> t -> t
+val with_width : int -> t -> t
+val with_fu_limits : Fom_isa.Fu_set.t -> t -> t
+val with_dtlb : Fom_cache.Tlb.spec -> t -> t
+val with_fetch_buffer : int -> t -> t
+val with_clusters : int -> t -> t

@@ -1,0 +1,424 @@
+module Instr = Fom_isa.Instr
+module Opclass = Fom_isa.Opclass
+module Latency = Fom_isa.Latency
+module Hierarchy = Fom_cache.Hierarchy
+module Predictor = Fom_branch.Predictor
+
+exception Cycle_limit_exceeded
+
+type inflight = {
+  instr : Instr.t;
+  mutable issue_time : int;  (* -1 until issued *)
+  mutable complete_time : int;  (* max_int until issued *)
+  mutable cluster : int;  (* assigned at dispatch *)
+}
+
+(* Completion-time ring: complete_time of recently issued instructions,
+   keyed by dynamic index. The span of in-flight instructions is at
+   most ROB + front end, far below the ring size, so an entry is valid
+   exactly when its stored index matches. *)
+let comp_ring_bits = 13
+let comp_ring_size = 1 lsl comp_ring_bits
+let comp_ring_mask = comp_ring_size - 1
+
+type t = {
+  config : Config.t;
+  next_instr : unit -> Instr.t;
+  (* completion tracking *)
+  comp_idx : int array;
+  comp_time : int array;
+  comp_cluster : int array;
+  mutable last_retired : int;  (* highest retired dynamic index *)
+  (* front end *)
+  pipe : (inflight * int) Queue.t;  (* instruction, dispatchable-at cycle *)
+  mutable pending : Instr.t option;  (* fetched but stalled on an I-miss *)
+  mutable fetch_stall_until : int;
+  mutable blocking_branch : inflight option;
+  mutable last_line : int;
+  (* window: age-ordered dense array *)
+  window : inflight option array;
+  mutable win_count : int;
+  cluster_counts : int array;  (* window occupancy per cluster *)
+  cluster_issued : int array;  (* issues this cycle per cluster *)
+  mutable next_cluster : int;  (* round-robin dispatch steering *)
+  (* rob: circular *)
+  rob : inflight option array;
+  mutable rob_head : int;
+  mutable rob_count : int;
+  (* memory system *)
+  hierarchy : Hierarchy.t;
+  predictor : Predictor.t;
+  dtlb : Fom_cache.Tlb.t option;
+  long_miss_completions : int Queue.t;
+  (* per-cycle structural state *)
+  fu_busy : int array;  (* instructions issued this cycle per class *)
+  (* bookkeeping *)
+  mutable cycle : int;
+  mutable retired : int;
+  (* optional per-cycle recording *)
+  mutable recording : bool;
+  mutable issued_this_cycle : int;
+  mutable issue_record : int list;  (* reversed *)
+  mutable resolve_record : int list;  (* reversed *)
+  (* statistics *)
+  mutable short_load_misses : int;
+  mutable long_load_misses : int;
+  mutable dtlb_misses : int;
+  mutable mispredictions : int;
+  mutable mispred_under_long : int;
+  mutable imiss_under_long : int;
+  window_at_branch_issue : Fom_util.Stats.Acc.t;
+  rob_ahead_of_long_miss : Fom_util.Stats.Acc.t;
+  mutable occupancy_window_sum : int;
+  mutable occupancy_rob_sum : int;
+}
+
+let create config next_instr =
+  Config.validate config;
+  {
+    config;
+    next_instr;
+    comp_idx = Array.make comp_ring_size (-1);
+    comp_time = Array.make comp_ring_size 0;
+    comp_cluster = Array.make comp_ring_size 0;
+    last_retired = -1;
+    pipe = Queue.create ();
+    pending = None;
+    fetch_stall_until = 0;
+    blocking_branch = None;
+    last_line = -1;
+    window = Array.make config.Config.window_size None;
+    win_count = 0;
+    cluster_counts = Array.make config.Config.clusters 0;
+    cluster_issued = Array.make config.Config.clusters 0;
+    next_cluster = 0;
+    rob = Array.make config.Config.rob_size None;
+    rob_head = 0;
+    rob_count = 0;
+    hierarchy = Hierarchy.create config.Config.cache;
+    predictor = Predictor.create config.Config.predictor;
+    dtlb = Option.map Fom_cache.Tlb.create config.Config.dtlb;
+    long_miss_completions = Queue.create ();
+    fu_busy = Array.make (List.length Opclass.all) 0;
+    cycle = 0;
+    retired = 0;
+    recording = false;
+    issued_this_cycle = 0;
+    issue_record = [];
+    resolve_record = [];
+    short_load_misses = 0;
+    long_load_misses = 0;
+    dtlb_misses = 0;
+    mispredictions = 0;
+    mispred_under_long = 0;
+    imiss_under_long = 0;
+    window_at_branch_issue = Fom_util.Stats.Acc.create ();
+    rob_ahead_of_long_miss = Fom_util.Stats.Acc.create ();
+    occupancy_window_sum = 0;
+    occupancy_rob_sum = 0;
+  }
+
+(* A value produced in another cluster needs one extra bypass cycle
+   (ancient producers are long past any bypass network). *)
+let dep_complete t ~cluster d =
+  d <= t.last_retired
+  ||
+  let slot = d land comp_ring_mask in
+  t.comp_idx.(slot) = d
+  &&
+  let bypass = if t.comp_cluster.(slot) = cluster then 0 else 1 in
+  t.comp_time.(slot) + bypass <= t.cycle
+
+let deps_ready t (f : inflight) =
+  let deps = f.instr.Instr.deps in
+  let cluster = f.cluster in
+  let rec check i =
+    i >= Array.length deps || (dep_complete t ~cluster deps.(i) && check (i + 1))
+  in
+  check 0
+
+let record_completion t index time ~cluster =
+  let slot = index land comp_ring_mask in
+  t.comp_idx.(slot) <- index;
+  t.comp_time.(slot) <- time;
+  t.comp_cluster.(slot) <- cluster
+
+let long_misses_outstanding t =
+  while
+    (not (Queue.is_empty t.long_miss_completions))
+    && Queue.peek t.long_miss_completions <= t.cycle
+  do
+    ignore (Queue.pop t.long_miss_completions)
+  done;
+  Queue.length t.long_miss_completions
+
+let retire t =
+  let rob_size = Array.length t.rob in
+  let budget = ref t.config.Config.width in
+  let continue_ = ref true in
+  while !continue_ && !budget > 0 && t.rob_count > 0 do
+    match t.rob.(t.rob_head) with
+    | Some f when f.complete_time <= t.cycle ->
+        t.rob.(t.rob_head) <- None;
+        t.rob_head <- (t.rob_head + 1) mod rob_size;
+        t.rob_count <- t.rob_count - 1;
+        t.last_retired <- f.instr.Instr.index;
+        t.retired <- t.retired + 1;
+        decr budget
+    | Some _ -> continue_ := false
+    | None -> assert false
+  done
+
+(* Translate a memory access; a TLB miss adds the walk latency up
+   front (the walk precedes the cache access). Store misses fill the
+   TLB but are not counted as miss-events: the write buffer hides
+   them, mirroring the treatment of store cache misses. *)
+let translate ?(count = true) t addr =
+  match t.dtlb with
+  | None -> 0
+  | Some dtlb ->
+      if Fom_cache.Tlb.access dtlb addr then 0
+      else begin
+        if count then t.dtlb_misses <- t.dtlb_misses + 1;
+        (Fom_cache.Tlb.spec dtlb).Fom_cache.Tlb.walk_latency
+      end
+
+let issue_latency t (f : inflight) =
+  let lat = Latency.of_class t.config.Config.latencies f.instr.Instr.opclass in
+  match f.instr.Instr.opclass with
+  | Opclass.Load ->
+      let addr = Option.get f.instr.Instr.mem in
+      let walk = translate t addr in
+      let outcome = Hierarchy.access_data t.hierarchy addr in
+      let cache_lat = Hierarchy.data_latency t.hierarchy outcome in
+      if outcome = Hierarchy.L2_hit then t.short_load_misses <- t.short_load_misses + 1;
+      if outcome = Hierarchy.Memory then begin
+        t.long_load_misses <- t.long_load_misses + 1;
+        Queue.push (t.cycle + walk + cache_lat) t.long_miss_completions;
+        (* Entries in the ROB ahead of this load: dynamic indices in
+           the ROB are consecutive, so it is an index difference. *)
+        (match t.rob.(t.rob_head) with
+        | Some head ->
+            Fom_util.Stats.Acc.add t.rob_ahead_of_long_miss
+              (float_of_int (f.instr.Instr.index - head.instr.Instr.index))
+        | None -> ());
+        walk + cache_lat
+      end
+      else walk + Stdlib.max lat cache_lat
+  | Opclass.Store ->
+      (* Stores update the TLB and cache for residency but never
+         block: a write buffer absorbs them (the paper models
+         data-cache penalties through loads only). *)
+      let addr = Option.get f.instr.Instr.mem in
+      ignore (translate ~count:false t addr);
+      ignore (Hierarchy.access_data t.hierarchy addr);
+      lat
+  | Opclass.Alu | Opclass.Mul | Opclass.Div | Opclass.Branch | Opclass.Jump -> lat
+
+let class_slot =
+  let slots = List.mapi (fun i c -> (c, i)) Opclass.all in
+  fun cls -> List.assq cls slots
+
+let fu_available t (f : inflight) =
+  Fom_isa.Fu_set.is_unbounded t.config.Config.fu_limits
+  || t.fu_busy.(class_slot f.instr.Instr.opclass)
+     < Fom_isa.Fu_set.of_class t.config.Config.fu_limits f.instr.Instr.opclass
+
+let issue t =
+  let width = t.config.Config.width in
+  let clusters = t.config.Config.clusters in
+  let cluster_width = width / clusters in
+  let unbounded = t.config.Config.unbounded_issue in
+  Array.fill t.fu_busy 0 (Array.length t.fu_busy) 0;
+  Array.fill t.cluster_issued 0 clusters 0;
+  let issued = ref 0 in
+  let kept = ref 0 in
+  for i = 0 to t.win_count - 1 do
+    match t.window.(i) with
+    | None -> assert false
+    | Some f ->
+        if
+          (unbounded || (!issued < width && t.cluster_issued.(f.cluster) < cluster_width))
+          && fu_available t f && deps_ready t f
+        then begin
+          t.fu_busy.(class_slot f.instr.Instr.opclass) <-
+            t.fu_busy.(class_slot f.instr.Instr.opclass) + 1;
+          t.cluster_issued.(f.cluster) <- t.cluster_issued.(f.cluster) + 1;
+          t.cluster_counts.(f.cluster) <- t.cluster_counts.(f.cluster) - 1;
+          f.issue_time <- t.cycle;
+          f.complete_time <- t.cycle + issue_latency t f;
+          record_completion t f.instr.Instr.index f.complete_time ~cluster:f.cluster;
+          (match t.blocking_branch with
+          | Some b when b == f ->
+              Fom_util.Stats.Acc.add t.window_at_branch_issue
+                (float_of_int (t.win_count - !issued - 1))
+          | Some _ | None -> ());
+          incr issued
+        end
+        else begin
+          (* Compact survivors in place, preserving age order. *)
+          t.window.(!kept) <- t.window.(i);
+          incr kept
+        end
+  done;
+  for i = !kept to t.win_count - 1 do
+    t.window.(i) <- None
+  done;
+  t.win_count <- !kept;
+  t.issued_this_cycle <- !issued
+
+let dispatch t =
+  let width = t.config.Config.width in
+  let rob_size = Array.length t.rob in
+  let budget = ref width in
+  let continue_ = ref true in
+  while
+    !continue_ && !budget > 0
+    && t.win_count < t.config.Config.window_size
+    && t.rob_count < rob_size
+    && not (Queue.is_empty t.pipe)
+  do
+    let f, ready_at = Queue.peek t.pipe in
+    if ready_at <= t.cycle then begin
+      ignore (Queue.pop t.pipe);
+      (* Round-robin steering; a full cluster passes its turn. *)
+      let clusters = t.config.Config.clusters in
+      let cluster_capacity = t.config.Config.window_size / clusters in
+      let rec steer tries =
+        if tries = 0 then None
+        else
+          let c = t.next_cluster in
+          t.next_cluster <- (t.next_cluster + 1) mod clusters;
+          if t.cluster_counts.(c) < cluster_capacity then Some c else steer (tries - 1)
+      in
+      (* The window-space guard ensures at least one cluster has
+         room. *)
+      let cluster = Option.get (steer clusters) in
+      f.cluster <- cluster;
+      t.cluster_counts.(cluster) <- t.cluster_counts.(cluster) + 1;
+      t.window.(t.win_count) <- Some f;
+      t.win_count <- t.win_count + 1;
+      let tail = (t.rob_head + t.rob_count) mod rob_size in
+      t.rob.(tail) <- Some f;
+      t.rob_count <- t.rob_count + 1;
+      decr budget
+    end
+    else continue_ := false
+  done
+
+let line_of t addr =
+  match t.config.Config.cache.Hierarchy.l1i with
+  | Hierarchy.Real g -> Fom_cache.Geometry.line_address g addr
+  | Hierarchy.Ideal -> addr land lnot 127
+
+let fetch t =
+  (match t.blocking_branch with
+  | Some b when b.complete_time <= t.cycle ->
+      t.blocking_branch <- None;
+      if t.recording then t.resolve_record <- t.cycle :: t.resolve_record
+  | Some _ | None -> ());
+  if t.blocking_branch = None && t.cycle >= t.fetch_stall_until then begin
+    let width = t.config.Config.width in
+    let pipe_capacity =
+      (width * t.config.Config.pipeline_depth) + t.config.Config.fetch_buffer
+    in
+    (* With a fetch buffer, fetch is line-based and bursty: it can run
+       ahead of dispatch at up to twice the machine width while buffer
+       space remains, which is what lets the buffer hide I-miss
+       stalls. *)
+    let fetch_limit = if t.config.Config.fetch_buffer > 0 then 2 * width else width in
+    let fetched = ref 0 in
+    let stopped = ref false in
+    while (not !stopped) && !fetched < fetch_limit && Queue.length t.pipe < pipe_capacity do
+      let instr =
+        match t.pending with
+        | Some i ->
+            t.pending <- None;
+            i
+        | None -> t.next_instr ()
+      in
+      let line = line_of t instr.Instr.pc in
+      let icache_ok =
+        if line = t.last_line then true
+        else begin
+          let outcome = Hierarchy.access_inst t.hierarchy instr.Instr.pc in
+          t.last_line <- line;
+          match outcome with
+          | Hierarchy.L1_hit -> true
+          | Hierarchy.L2_hit | Hierarchy.Memory ->
+              if long_misses_outstanding t > 0 then
+                t.imiss_under_long <- t.imiss_under_long + 1;
+              t.fetch_stall_until <- t.cycle + Hierarchy.inst_stall t.hierarchy outcome;
+              t.pending <- Some instr;
+              (* The line is now resident: do not re-probe when the
+                 stalled instruction is finally fetched. *)
+              false
+        end
+      in
+      if not icache_ok then stopped := true
+      else begin
+        let f = { instr; issue_time = -1; complete_time = max_int; cluster = 0 } in
+        Queue.push (f, t.cycle + t.config.Config.pipeline_depth) t.pipe;
+        incr fetched;
+        if Instr.is_branch instr then begin
+          let taken = (Option.get instr.Instr.ctrl).Instr.taken in
+          let correct = Predictor.observe t.predictor ~pc:instr.Instr.pc ~taken in
+          if not correct then begin
+            t.mispredictions <- t.mispredictions + 1;
+            if long_misses_outstanding t > 0 then
+              t.mispred_under_long <- t.mispred_under_long + 1;
+            t.blocking_branch <- Some f;
+            stopped := true
+          end
+        end
+      end
+    done
+  end
+
+let step t =
+  retire t;
+  issue t;
+  dispatch t;
+  fetch t;
+  if t.recording then t.issue_record <- t.issued_this_cycle :: t.issue_record;
+  t.occupancy_window_sum <- t.occupancy_window_sum + t.win_count;
+  t.occupancy_rob_sum <- t.occupancy_rob_sum + t.rob_count;
+  t.cycle <- t.cycle + 1
+
+let run ?cycle_limit t ~n =
+  (* The budget is relative to the current cycle so that a machine can
+     be resumed with successive [run] calls. *)
+  let limit = t.cycle + Option.value cycle_limit ~default:((250 * n) + 100_000) in
+  let target = t.retired + n in
+  while t.retired < target do
+    if t.cycle > limit then raise Cycle_limit_exceeded;
+    step t
+  done;
+  let mean sum = float_of_int sum /. float_of_int (Stdlib.max 1 t.cycle) in
+  let cache_stats = Hierarchy.stats t.hierarchy in
+  {
+    Stats.instructions = t.retired;
+    cycles = t.cycle;
+    branch_mispredictions = t.mispredictions;
+    l1i_misses = cache_stats.Hierarchy.l1i_misses - cache_stats.Hierarchy.l2i_misses;
+    l2i_misses = cache_stats.Hierarchy.l2i_misses;
+    short_data_misses = t.short_load_misses;
+    long_data_misses = t.long_load_misses;
+    dtlb_misses = t.dtlb_misses;
+    mispredictions_under_long_miss = t.mispred_under_long;
+    imisses_under_long_miss = t.imiss_under_long;
+    window_at_branch_issue = Fom_util.Stats.Acc.mean t.window_at_branch_issue;
+    rob_ahead_of_long_miss = Fom_util.Stats.Acc.mean t.rob_ahead_of_long_miss;
+    mean_window_occupancy = mean t.occupancy_window_sum;
+    mean_rob_occupancy = mean t.occupancy_rob_sum;
+  }
+
+let run_recorded ?cycle_limit t ~n =
+  t.recording <- true;
+  t.issue_record <- [];
+  t.resolve_record <- [];
+  let stats = run ?cycle_limit t ~n in
+  t.recording <- false;
+  ( stats,
+    Array.of_list (List.rev t.issue_record),
+    Array.of_list (List.rev t.resolve_record) )

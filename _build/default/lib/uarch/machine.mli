@@ -1,0 +1,41 @@
+(** The detailed cycle-level simulator.
+
+    Trace-driven, correct-path timing simulation of the paper's
+    first-order superscalar machine. Per simulated cycle, in order:
+    retire (up to width, in order, completed only), issue (oldest
+    first from the window, up to width, operands ready), dispatch
+    (front-end pipe into window and ROB, stalling when either is
+    full), fetch (up to width; an I-cache miss stalls fetch for the
+    fill delay; a mispredicted conditional branch stops fetch of
+    useful instructions until the branch completes, after which the
+    refilled front end costs its depth — the paper's Figure 7
+    transient). Loads probe the data hierarchy at issue: an L1 hit
+    costs the L1 latency, an L2 hit the short-miss latency, an L2 miss
+    the memory latency; misses overlap freely (unbounded MSHRs), and a
+    long-miss load at the ROB head blocks retirement — the paper's
+    Section 4.3 mechanism. Wrong-path instructions are not simulated:
+    with oldest-first issue they never displace useful issue slots
+    (paper, Section 4.1).
+
+    The paper's five Figure 2 configurations are obtained purely by
+    idealizing caches/predictor in the {!Config.t}. *)
+
+type t
+
+val create : Config.t -> (unit -> Fom_isa.Instr.t) -> t
+(** [create config next] builds a machine pulling instructions from
+    [next] (typically [Fom_trace.Stream.next]). *)
+
+exception Cycle_limit_exceeded
+(** Raised when the simulation exceeds its cycle budget — a deadlock
+    guard; it should never fire for well-formed traces. *)
+
+val run : ?cycle_limit:int -> t -> n:int -> Stats.t
+(** Simulate until [n] instructions retire. The default cycle limit is
+    [250 * n + 100_000] (an all-miss trace cannot be slower). *)
+
+val run_recorded : ?cycle_limit:int -> t -> n:int -> Stats.t * int array * int array
+(** Like {!run}, additionally recording the per-cycle issue counts and
+    the cycles at which a mispredicted branch resolved (fetch
+    restarts) — the raw material for empirical issue-ramp curves
+    (paper Figure 19) and issue-rate distributions. *)

@@ -1,0 +1,23 @@
+(** Convenience drivers over {!Machine}. *)
+
+val run : Config.t -> Fom_trace.Program.t -> n:int -> Stats.t
+(** Simulate [n] instructions of a fresh stream over the program. *)
+
+val run_config : Config.t -> Fom_trace.Config.t -> n:int -> Stats.t
+(** Generate the program from a workload config, then {!run}. *)
+
+val run_source : Config.t -> Fom_trace.Source.t -> n:int -> Stats.t
+(** {!run} over any replayable source (e.g. an imported trace). *)
+
+type event_penalty = {
+  events : int;  (** miss-events of the isolated kind *)
+  penalty_per_event : float;  (** measured cycles per event *)
+}
+
+val isolate :
+  base:Config.t -> faulty:Config.t -> events:(Stats.t -> int) ->
+  Fom_trace.Program.t -> n:int -> event_penalty
+(** The paper's differencing methodology (Figures 9, 11, 14): simulate
+    the same trace under [faulty] (one real structure) and [base]
+    (everything ideal), and attribute the cycle difference to the
+    miss-events counted by [events] in the faulty run. *)

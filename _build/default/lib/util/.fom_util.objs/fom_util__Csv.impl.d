@@ -1,0 +1,1 @@
+lib/util/csv.ml: Fun List String

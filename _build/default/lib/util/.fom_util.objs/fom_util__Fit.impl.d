@@ -1,0 +1,1 @@
+lib/util/fit.ml: Array Float Stats

@@ -1,0 +1,88 @@
+let sum a = Array.fold_left ( +. ) 0.0 a
+
+let mean a = if Array.length a = 0 then 0.0 else sum a /. float_of_int (Array.length a)
+
+let variance a =
+  let n = Array.length a in
+  if n < 2 then 0.0
+  else
+    let m = mean a in
+    let acc = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 a in
+    acc /. float_of_int n
+
+let stddev a = sqrt (variance a)
+
+let min a =
+  assert (Array.length a > 0);
+  Array.fold_left Stdlib.min a.(0) a
+
+let max a =
+  assert (Array.length a > 0);
+  Array.fold_left Stdlib.max a.(0) a
+
+let percentile a p =
+  assert (Array.length a > 0);
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  if n = 1 then sorted.(0)
+  else
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = Stdlib.min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+
+let weighted_mean pairs =
+  let wsum = Array.fold_left (fun acc (_, w) -> acc +. w) 0.0 pairs in
+  if wsum = 0.0 then 0.0
+  else
+    let vsum = Array.fold_left (fun acc (v, w) -> acc +. (v *. w)) 0.0 pairs in
+    vsum /. wsum
+
+let geometric_mean a =
+  if Array.length a = 0 then 0.0
+  else
+    let logsum = Array.fold_left (fun acc x -> acc +. Float.log x) 0.0 a in
+    Float.exp (logsum /. float_of_int (Array.length a))
+
+let relative_errors reference candidate =
+  assert (Array.length reference = Array.length candidate);
+  let errs = ref [] in
+  Array.iteri
+    (fun i r ->
+      if r <> 0.0 then errs := (Float.abs (candidate.(i) -. r) /. Float.abs r) :: !errs)
+    reference;
+  Array.of_list !errs
+
+let mean_abs_error reference candidate = mean (relative_errors reference candidate)
+
+let max_abs_error reference candidate =
+  let errs = relative_errors reference candidate in
+  if Array.length errs = 0 then 0.0 else max errs
+
+module Acc = struct
+  type t = {
+    mutable count : int;
+    mutable mean : float;
+    mutable m2 : float;
+    mutable min : float;
+    mutable max : float;
+  }
+
+  let create () = { count = 0; mean = 0.0; m2 = 0.0; min = infinity; max = neg_infinity }
+
+  let add t x =
+    t.count <- t.count + 1;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.count);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+    if x < t.min then t.min <- x;
+    if x > t.max then t.max <- x
+
+  let count t = t.count
+  let mean t = t.mean
+  let variance t = if t.count < 2 then 0.0 else t.m2 /. float_of_int t.count
+  let min t = t.min
+  let max t = t.max
+end

@@ -1,0 +1,1 @@
+lib/workloads/micro.ml: Fom_isa Fom_trace List String

@@ -1,0 +1,1 @@
+lib/workloads/spec2000.ml: Fom_isa Fom_trace List String

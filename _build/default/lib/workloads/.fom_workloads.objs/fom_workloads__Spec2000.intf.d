@@ -1,0 +1,1 @@
+lib/workloads/spec2000.mli: Fom_trace

@@ -1,0 +1,36 @@
+(** SPECint2000-like synthetic workload presets.
+
+    The paper evaluates on the 12 SPECint2000 benchmarks. We cannot run
+    SPEC binaries here, so each benchmark is replaced by a synthetic
+    workload whose first-order statistics are calibrated to the
+    benchmark's published character (see DESIGN.md, substitution table):
+
+    - gzip: mid-range ILP (paper: alpha 1.3, beta 0.5, latency 1.5),
+      bursty mispredictions, tiny code footprint.
+    - vortex: high ILP (beta 0.7), large code footprint (I-cache bound),
+      well-predicted branches.
+    - vpr: low ILP (beta 0.3), high mean latency (2.2), hard branches,
+      noticeable long misses.
+    - mcf: pointer chasing — long d-cache misses dominate CPI.
+    - twolf: long misses plus many mispredictions.
+    - gcc, crafty, eon, gap, parser, perlbmk, bzip2: intermediate
+      points spanning the remaining behaviours (see each preset's
+      comment in the implementation).
+
+    All presets share the ISA latency profile and differ only in the
+    statistics the model consumes. *)
+
+val all : Fom_trace.Config.t list
+(** The 12 presets, in the paper's (alphabetical) bar-chart order:
+    bzip2, crafty, eon, gap, gcc, gzip, mcf, parser, perlbmk, twolf,
+    vortex, vpr. *)
+
+val names : string list
+(** Names of {!all}, in order. *)
+
+val find : string -> Fom_trace.Config.t
+(** Look up a preset by name.
+    @raise Not_found if the name is not one of {!names}. *)
+
+val with_seed : int -> Fom_trace.Config.t -> Fom_trace.Config.t
+(** Re-seed a preset (e.g. for replication studies). *)

@@ -1,0 +1,1 @@
+test/suite_branch.ml: Alcotest Array Fom_branch Fom_util List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/suite_cache.ml: Alcotest Array Fom_cache Fom_util Gen List QCheck QCheck_alcotest

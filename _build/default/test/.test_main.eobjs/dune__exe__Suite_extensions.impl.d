@@ -1,0 +1,1 @@
+test/suite_extensions.ml: Alcotest Float Fom_analysis Fom_branch Fom_cache Fom_isa Fom_model Fom_trace Fom_uarch Fom_util Fom_workloads Lazy List Printf

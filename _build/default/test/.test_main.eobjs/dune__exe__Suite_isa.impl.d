@@ -1,0 +1,1 @@
+test/suite_isa.ml: Alcotest Fom_isa Format List String

@@ -1,0 +1,1 @@
+test/suite_machine_exactness.ml: Alcotest Fom_branch Fom_cache Fom_isa Fom_uarch Option Printf

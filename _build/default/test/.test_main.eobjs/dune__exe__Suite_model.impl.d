@@ -1,0 +1,1 @@
+test/suite_model.ml: Alcotest Array Float Fom_isa Fom_model Fom_util List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/suite_phases.ml: Alcotest Array Fom_isa Fom_model Fom_trace Fom_uarch Fom_workloads Printf

@@ -1,0 +1,1 @@
+test/suite_source.ml: Alcotest Array Filename Fom_analysis Fom_isa Fom_model Fom_trace Fom_uarch Fom_workloads Fun Lazy Sys

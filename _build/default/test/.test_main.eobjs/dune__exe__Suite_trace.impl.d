@@ -1,0 +1,1 @@
+test/suite_trace.ml: Alcotest Array Fom_isa Fom_trace Fom_util Fom_workloads Hashtbl List Option QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/suite_uarch.ml: Alcotest Fom_branch Fom_cache Fom_isa Fom_trace Fom_uarch Fom_workloads Lazy List Printf

@@ -1,0 +1,1 @@
+test/suite_util.ml: Alcotest Array Filename Float Fom_util Fun Gen List QCheck QCheck_alcotest String Sys

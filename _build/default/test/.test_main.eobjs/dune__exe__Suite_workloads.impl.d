@@ -1,0 +1,1 @@
+test/suite_workloads.ml: Alcotest Float Fom_analysis Fom_model Fom_trace Fom_uarch Fom_util Fom_workloads Lazy List Printf

@@ -1,0 +1,179 @@
+(* Exactness tests: hand-built traces through the detailed simulator,
+   checking cycle-accurate behaviour of each mechanism in isolation. *)
+
+module Config = Fom_uarch.Config
+module Machine = Fom_uarch.Machine
+module Stats = Fom_uarch.Stats
+module Instr = Fom_isa.Instr
+module Opclass = Fom_isa.Opclass
+module Reg = Fom_isa.Reg
+module Hierarchy = Fom_cache.Hierarchy
+module Predictor = Fom_branch.Predictor
+
+let ideal = Config.ideal Config.baseline
+
+(* Build a thunk over a generator function from index to instruction. *)
+let trace_of gen =
+  let counter = ref 0 in
+  fun () ->
+    let index = !counter in
+    incr counter;
+    gen index
+
+let alu ?pc ?(deps = [||]) index =
+  let pc = Option.value pc ~default:(0x400000 + (4 * index)) in
+  Instr.make ~index ~pc ~opclass:Opclass.Alu ~dst:(Reg.of_int ((index mod 31) + 1)) ~deps ()
+
+let run_cycles config gen ~n =
+  let machine = Machine.create config (trace_of gen) in
+  (Machine.run machine ~n).Stats.cycles
+
+let test_pipeline_fill_latency () =
+  (* The very first instruction retires after fetch (cycle 0), the
+     front-end depth, dispatch, issue, execute (1 cycle) and retire:
+     total depth + 3 cycles for the machine as modeled. Check by
+     running exactly width instructions. *)
+  let c5 = run_cycles (Config.with_depth 5 ideal) alu ~n:4 in
+  let c9 = run_cycles (Config.with_depth 9 ideal) alu ~n:4 in
+  Alcotest.(check int) "depth shifts start exactly" 4 (c9 - c5)
+
+let test_width_throughput_exact () =
+  (* 4000 independent instructions at width 4: pipeline fill plus
+     1000 cycles of full-width retirement, within a couple cycles. *)
+  let cycles = run_cycles ideal alu ~n:4000 in
+  Alcotest.(check bool) (Printf.sprintf "cycles %d in [1000, 1012]" cycles) true
+    (cycles >= 1000 && cycles <= 1012)
+
+let test_serial_chain_exact () =
+  (* A dependence chain retires one instruction per cycle. *)
+  let gen index = alu ~deps:(if index = 0 then [||] else [| index - 1 |]) index in
+  let c1000 = run_cycles ideal gen ~n:1000 in
+  let c2000 = run_cycles ideal gen ~n:2000 in
+  Alcotest.(check int) "one cycle per instruction" 1000 (c2000 - c1000)
+
+let test_mul_chain_exact () =
+  (* A multiply chain pays the 3-cycle latency per link. *)
+  let gen index =
+    Instr.make ~index ~pc:0x400000 ~opclass:Opclass.Mul ~dst:(Reg.of_int 1)
+      ~deps:(if index = 0 then [||] else [| index - 1 |])
+      ()
+  in
+  let c100 = run_cycles ideal gen ~n:100 in
+  let c200 = run_cycles ideal gen ~n:200 in
+  Alcotest.(check int) "three cycles per link" 300 (c200 - c100)
+
+let test_branch_mispredict_penalty_exact () =
+  (* One mispredicted branch in independent work: the penalty is the
+     resolution wait plus the front-end refill. With an Always_taken
+     predictor and one not-taken branch, exactly one misprediction. *)
+  let branch_at = 2000 in
+  let gen index =
+    if index = branch_at then
+      Instr.make ~index ~pc:0x400100 ~opclass:Opclass.Branch
+        ~ctrl:{ Instr.target = 0x400000; taken = false }
+        ()
+    else alu index
+  in
+  let config = Config.with_predictor Predictor.Always_taken ideal in
+  let with_misp =
+    let machine = Machine.create config (trace_of gen) in
+    Machine.run machine ~n:6000
+  in
+  Alcotest.(check int) "exactly one misprediction" 1 with_misp.Stats.branch_mispredictions;
+  let base = run_cycles ideal alu ~n:6000 in
+  let penalty = with_misp.Stats.cycles - base in
+  (* Independent work: the window drains at full width (short drain),
+     the branch resolves quickly once issued, then a depth-5 refill.
+     Expect a penalty within the model's [depth, depth + drain + ramp]
+     bracket. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "penalty %d in [5, 13]" penalty)
+    true
+    (penalty >= 5 && penalty <= 13)
+
+let test_icache_miss_stall_exact () =
+  (* With a never-hitting I-cache line pattern the fetch stalls the
+     fill delay once per line. Two lines of instructions: one cold
+     miss each. *)
+  let config = Config.with_cache Hierarchy.ideal_except_l1i ideal in
+  let machine = Machine.create config (trace_of alu) in
+  let stats = Machine.run machine ~n:64 in
+  (* 64 sequential instructions, 4 bytes each = 2 lines of 128B: two
+     cold misses stall the fetch of retired work (fetch-ahead may
+     touch the third line without delaying retirement). *)
+  Alcotest.(check bool) "two or three line misses" true
+    (stats.Stats.l1i_misses >= 2 && stats.Stats.l1i_misses <= 3);
+  let base = run_cycles ideal alu ~n:64 in
+  Alcotest.(check int) "16 stall cycles" 16 (stats.Stats.cycles - base)
+
+let test_long_miss_blocks_retirement () =
+  (* A long-miss load at the ROB head gates every younger
+     instruction: nothing retires during the memory wait. *)
+  let gen index =
+    if index = 0 then
+      Instr.make ~index ~pc:0x400000 ~opclass:Opclass.Load ~dst:(Reg.of_int 1)
+        ~mem:0xA000000 ()
+    else alu index
+  in
+  let config = Config.with_cache Hierarchy.fig14 ideal in
+  let machine = Machine.create config (trace_of gen) in
+  let stats = Machine.run machine ~n:128 in
+  (* The load issues early and waits 200 cycles; the 127 younger
+     instructions fill the ROB and retire only after it. *)
+  Alcotest.(check int) "one long miss" 1 stats.Stats.long_data_misses;
+  Alcotest.(check bool)
+    (Printf.sprintf "cycles %d slightly beyond the memory latency" stats.Stats.cycles)
+    true
+    (stats.Stats.cycles >= 200 && stats.Stats.cycles <= 240)
+
+let test_store_misses_do_not_block () =
+  (* The same address stream through stores must cost nothing: write
+     buffering absorbs store misses. *)
+  let gen kind index =
+    if index mod 10 = 0 then
+      Instr.make ~index ~pc:0x400000 ~opclass:kind
+        ?dst:(if kind = Opclass.Load then Some (Reg.of_int 1) else None)
+        ~mem:(0xA000000 + (index * 0x100000))
+        ()
+    else alu index
+  in
+  let config = Config.with_cache Hierarchy.fig14 ideal in
+  let loads = run_cycles config (gen Opclass.Load) ~n:2000 in
+  let stores = run_cycles config (gen Opclass.Store) ~n:2000 in
+  let base = run_cycles ideal alu ~n:2000 in
+  Alcotest.(check bool) "load misses cost" true (loads > base + 100);
+  Alcotest.(check bool) "store misses free" true (stores < base + 20)
+
+let test_window_stat_bounded () =
+  let machine = Machine.create Config.baseline (trace_of alu) in
+  let stats = Machine.run machine ~n:10000 in
+  Alcotest.(check bool) "window occupancy within size" true
+    (stats.Stats.mean_window_occupancy <= 48.0);
+  Alcotest.(check bool) "rob occupancy within size" true
+    (stats.Stats.mean_rob_occupancy <= 128.0)
+
+let test_resumable_runs_compose () =
+  (* Two runs of n/2 equal one run of n on the same machine. *)
+  let m1 = Machine.create ideal (trace_of alu) in
+  let _ = Machine.run m1 ~n:500 in
+  let second = Machine.run m1 ~n:500 in
+  let m2 = Machine.create ideal (trace_of alu) in
+  let full = Machine.run m2 ~n:1000 in
+  Alcotest.(check int) "same total cycles" full.Stats.cycles second.Stats.cycles;
+  Alcotest.(check bool) "at least 1000 retired" true (second.Stats.instructions >= 1000)
+
+let suite =
+  ( "machine-exactness",
+    [
+      Alcotest.test_case "pipeline fill latency" `Quick test_pipeline_fill_latency;
+      Alcotest.test_case "width throughput" `Quick test_width_throughput_exact;
+      Alcotest.test_case "serial chain" `Quick test_serial_chain_exact;
+      Alcotest.test_case "mul chain" `Quick test_mul_chain_exact;
+      Alcotest.test_case "mispredict penalty bracket" `Quick
+        test_branch_mispredict_penalty_exact;
+      Alcotest.test_case "icache stall" `Quick test_icache_miss_stall_exact;
+      Alcotest.test_case "long miss blocks retirement" `Quick test_long_miss_blocks_retirement;
+      Alcotest.test_case "store misses do not block" `Quick test_store_misses_do_not_block;
+      Alcotest.test_case "occupancy stats bounded" `Quick test_window_stat_bounded;
+      Alcotest.test_case "resumable runs compose" `Quick test_resumable_runs_compose;
+    ] )

@@ -1,0 +1,139 @@
+(* Tests for Fom_trace.Source: replayability, wrapping, and the trace
+   file format round-trip. *)
+
+module Source = Fom_trace.Source
+module Instr = Fom_isa.Instr
+module Opclass = Fom_isa.Opclass
+module Reg = Fom_isa.Reg
+
+let gzip = lazy (Fom_trace.Program.generate (Fom_workloads.Spec2000.find "gzip"))
+
+let same_instr (a : Instr.t) (b : Instr.t) =
+  a.Instr.index = b.Instr.index && a.Instr.pc = b.Instr.pc
+  && Opclass.equal a.Instr.opclass b.Instr.opclass
+  && a.Instr.deps = b.Instr.deps && a.Instr.mem = b.Instr.mem
+  &&
+  match (a.Instr.ctrl, b.Instr.ctrl) with
+  | None, None -> true
+  | Some x, Some y -> x.Instr.taken = y.Instr.taken && x.Instr.target = y.Instr.target
+  | _ -> false
+
+let check_same label a b =
+  Array.iteri
+    (fun i x -> if not (same_instr x b.(i)) then Alcotest.failf "%s: differ at %d" label i)
+    a
+
+let test_of_program_replayable () =
+  let source = Source.of_program (Lazy.force gzip) in
+  let a = Source.record source ~n:500 in
+  let b = Source.record source ~n:500 in
+  check_same "two fresh passes" a b
+
+let test_of_instrs_replay () =
+  let base = Source.record (Source.of_program (Lazy.force gzip)) ~n:300 in
+  let replay = Source.record (Source.of_instrs base) ~n:300 in
+  check_same "array replay" base replay
+
+let test_of_instrs_wraps_with_rebased_indices () =
+  let base = Source.record (Source.of_program (Lazy.force gzip)) ~n:100 in
+  let wrapped = Source.record (Source.of_instrs base) ~n:350 in
+  Array.iteri
+    (fun i (ins : Instr.t) ->
+      Alcotest.(check int) "indices stay sequential" i ins.Instr.index;
+      Array.iter
+        (fun d ->
+          if not (d >= 0 && d < i) then Alcotest.failf "dep %d at wrapped instr %d" d i)
+        ins.Instr.deps)
+    wrapped;
+  (* The wrapped copy repeats the original pcs. *)
+  Alcotest.(check int) "pc repeats" base.(17).Instr.pc wrapped.(217).Instr.pc
+
+let test_file_roundtrip () =
+  let path = Filename.temp_file "fom" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let source = Source.of_program (Lazy.force gzip) in
+      Source.save ~path source ~n:400;
+      let loaded = Source.load ~path in
+      let original = Source.record source ~n:400 in
+      let reread = Source.record loaded ~n:400 in
+      (* Register names are re-assigned on load; everything the model
+         consumes must round-trip exactly. *)
+      check_same "roundtrip" original reread;
+      Alcotest.(check string) "label is the path" path (Source.label loaded))
+
+let test_file_roundtrip_preserves_model_inputs () =
+  let path = Filename.temp_file "fom" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let source = Source.of_program (Lazy.force gzip) in
+      let n = 20000 in
+      Source.save ~path source ~n;
+      let loaded = Source.load ~path in
+      let params = Fom_model.Params.baseline in
+      let from_program =
+        Fom_analysis.Characterize.inputs_of_source ~iw_instructions:5000 ~params source ~n
+      in
+      let from_file =
+        Fom_analysis.Characterize.inputs_of_source ~iw_instructions:5000 ~params loaded ~n
+      in
+      Alcotest.(check (float 1e-9)) "same alpha" from_program.Fom_model.Inputs.alpha
+        from_file.Fom_model.Inputs.alpha;
+      Alcotest.(check (float 1e-9)) "same misprediction rate"
+        from_program.Fom_model.Inputs.mispredictions_per_instr
+        from_file.Fom_model.Inputs.mispredictions_per_instr;
+      Alcotest.(check (float 1e-9)) "same long-miss rate"
+        from_program.Fom_model.Inputs.long_misses_per_instr
+        from_file.Fom_model.Inputs.long_misses_per_instr)
+
+let test_simulator_on_loaded_trace () =
+  let path = Filename.temp_file "fom" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let source = Source.of_program (Lazy.force gzip) in
+      Source.save ~path source ~n:20000;
+      let loaded = Source.load ~path in
+      let a = Fom_uarch.Simulate.run_source Fom_uarch.Config.baseline source ~n:20000 in
+      let b = Fom_uarch.Simulate.run_source Fom_uarch.Config.baseline loaded ~n:20000 in
+      Alcotest.(check int) "same cycles" a.Fom_uarch.Stats.cycles b.Fom_uarch.Stats.cycles)
+
+let test_load_rejects_garbage () =
+  let path = Filename.temp_file "fom" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "not a trace\n";
+      close_out oc;
+      match Source.load ~path with
+      | _ -> Alcotest.fail "accepted garbage"
+      | exception Failure _ -> ())
+
+let test_load_rejects_bad_dependence () =
+  let path = Filename.temp_file "fom" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "fom-trace 1\nalu 400000 - - - 7\n";
+      close_out oc;
+      match Source.load ~path with
+      | _ -> Alcotest.fail "accepted forward dependence"
+      | exception Failure _ -> ())
+
+let suite =
+  ( "source",
+    [
+      Alcotest.test_case "program source replayable" `Quick test_of_program_replayable;
+      Alcotest.test_case "array replay" `Quick test_of_instrs_replay;
+      Alcotest.test_case "wrapped replay rebases" `Quick test_of_instrs_wraps_with_rebased_indices;
+      Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
+      Alcotest.test_case "roundtrip preserves model inputs" `Quick
+        test_file_roundtrip_preserves_model_inputs;
+      Alcotest.test_case "simulator on loaded trace" `Quick test_simulator_on_loaded_trace;
+      Alcotest.test_case "rejects garbage" `Quick test_load_rejects_garbage;
+      Alcotest.test_case "rejects forward dependence" `Quick test_load_rejects_bad_dependence;
+    ] )

@@ -1,0 +1,270 @@
+(* Unit and property tests for Fom_util: RNG, statistics, fitting,
+   distributions, tables. *)
+
+module Rng = Fom_util.Rng
+module Stats = Fom_util.Stats
+module Fit = Fom_util.Fit
+module Distribution = Fom_util.Distribution
+module Table = Fom_util.Table
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_close eps = Alcotest.(check (float eps))
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  Alcotest.(check bool) "different seeds differ" false (Rng.bits64 a = Rng.bits64 b)
+
+let test_rng_split_independent () =
+  let parent = Rng.create 7 in
+  let child = Rng.split parent in
+  let x = Rng.bits64 child in
+  let y = Rng.bits64 parent in
+  Alcotest.(check bool) "split streams differ" true (x <> y)
+
+let test_rng_copy () =
+  let a = Rng.create 9 in
+  ignore (Rng.bits64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy resumes identically" (Rng.bits64 a) (Rng.bits64 b)
+
+let test_rng_int_range () =
+  let r = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let x = Rng.int r 17 in
+    Alcotest.(check bool) "in range" true (x >= 0 && x < 17)
+  done
+
+let test_rng_float_range () =
+  let r = Rng.create 4 in
+  for _ = 1 to 1000 do
+    let x = Rng.float r 2.5 in
+    Alcotest.(check bool) "in range" true (x >= 0.0 && x < 2.5)
+  done
+
+let test_rng_bernoulli_mean () =
+  let r = Rng.create 5 in
+  let hits = ref 0 in
+  let n = 20000 in
+  for _ = 1 to n do
+    if Rng.bernoulli r 0.3 then incr hits
+  done;
+  check_close 0.02 "bernoulli mean" 0.3 (float_of_int !hits /. float_of_int n)
+
+let test_rng_geometric_mean () =
+  let r = Rng.create 6 in
+  let acc = Stats.Acc.create () in
+  for _ = 1 to 20000 do
+    Stats.Acc.add acc (float_of_int (Rng.geometric r 0.25))
+  done;
+  (* Mean of geometric (failures before success) is (1-p)/p = 3. *)
+  check_close 0.15 "geometric mean" 3.0 (Stats.Acc.mean acc)
+
+let test_rng_categorical () =
+  let r = Rng.create 8 in
+  let counts = Array.make 3 0 in
+  let n = 30000 in
+  for _ = 1 to n do
+    let i = Rng.categorical r [| 1.0; 2.0; 1.0 |] in
+    counts.(i) <- counts.(i) + 1
+  done;
+  check_close 0.02 "weight 2 bin" 0.5 (float_of_int counts.(1) /. float_of_int n)
+
+let test_stats_basics () =
+  let a = [| 1.0; 2.0; 3.0; 4.0 |] in
+  check_float "mean" 2.5 (Stats.mean a);
+  check_float "sum" 10.0 (Stats.sum a);
+  check_float "min" 1.0 (Stats.min a);
+  check_float "max" 4.0 (Stats.max a);
+  check_float "variance" 1.25 (Stats.variance a)
+
+let test_stats_empty () =
+  check_float "empty mean" 0.0 (Stats.mean [||]);
+  check_float "empty variance" 0.0 (Stats.variance [||])
+
+let test_stats_percentile () =
+  let a = [| 4.0; 1.0; 3.0; 2.0 |] in
+  check_float "median" 2.5 (Stats.percentile a 50.0);
+  check_float "p0" 1.0 (Stats.percentile a 0.0);
+  check_float "p100" 4.0 (Stats.percentile a 100.0)
+
+let test_stats_weighted_mean () =
+  check_float "weighted" 3.0 (Stats.weighted_mean [| (1.0, 1.0); (4.0, 2.0) |]);
+  check_float "zero weight" 0.0 (Stats.weighted_mean [| (1.0, 0.0) |])
+
+let test_stats_errors () =
+  let reference = [| 2.0; 4.0 |] and candidate = [| 2.2; 3.6 |] in
+  check_close 1e-9 "mean err" 0.1 (Stats.mean_abs_error reference candidate);
+  check_close 1e-9 "max err" 0.1 (Stats.max_abs_error reference candidate)
+
+let test_stats_acc_matches_batch () =
+  let a = Array.init 100 (fun i -> float_of_int (i * i) /. 7.0) in
+  let acc = Stats.Acc.create () in
+  Array.iter (Stats.Acc.add acc) a;
+  check_close 1e-6 "acc mean" (Stats.mean a) (Stats.Acc.mean acc);
+  check_close 1e-3 "acc variance" (Stats.variance a) (Stats.Acc.variance acc);
+  Alcotest.(check int) "acc count" 100 (Stats.Acc.count acc)
+
+let test_fit_exact_line () =
+  let points = Array.init 10 (fun i -> (float_of_int i, (2.0 *. float_of_int i) +. 1.0)) in
+  let l = Fit.line points in
+  check_close 1e-9 "slope" 2.0 l.Fit.slope;
+  check_close 1e-9 "intercept" 1.0 l.Fit.intercept;
+  check_close 1e-9 "r2" 1.0 l.Fit.r2
+
+let test_fit_power_law_recovers () =
+  let alpha = 1.3 and beta = 0.5 in
+  let points =
+    Array.map (fun w -> (w, alpha *. Float.pow w beta)) [| 4.0; 8.0; 16.0; 32.0; 64.0 |]
+  in
+  let p = Fit.power_law points in
+  check_close 1e-6 "alpha" alpha p.Fit.alpha;
+  check_close 1e-6 "beta" beta p.Fit.beta
+
+let test_fit_eval () =
+  let p = { Fit.alpha = 2.0; beta = 0.5; r2 = 1.0 } in
+  check_close 1e-9 "eval" 8.0 (Fit.eval_power_law p 16.0)
+
+let test_distribution_basic () =
+  let d = Distribution.of_list [ (1, 3); (2, 1) ] in
+  Alcotest.(check int) "total" 4 (Distribution.total d);
+  check_float "p(1)" 0.75 (Distribution.probability d 1);
+  check_float "mean" 1.25 (Distribution.mean d);
+  Alcotest.(check (list int)) "support" [ 1; 2 ] (Distribution.support d)
+
+let test_distribution_expect () =
+  (* The eq. 8 overlap factor: sum f(i)/i. *)
+  let d = Distribution.of_list [ (1, 1); (2, 1) ] in
+  check_float "overlap factor" 0.75 (Distribution.expect d (fun i -> 1.0 /. float_of_int i))
+
+let test_distribution_empty () =
+  let d = Distribution.create () in
+  check_float "empty expect" 0.0 (Distribution.expect d float_of_int);
+  check_float "empty probability" 0.0 (Distribution.probability d 0)
+
+let test_table_render () =
+  let s = Table.render ~header:[ "a"; "bb" ] [ [ "x"; "1" ]; [ "yy"; "22" ] ] in
+  Alcotest.(check bool) "contains header" true (String.length s > 0);
+  let lines = String.split_on_char '\n' s in
+  Alcotest.(check int) "line count" 5 (List.length lines)
+
+let test_table_float_cell () =
+  Alcotest.(check string) "format" "1.50" (Table.float_cell ~decimals:2 1.5)
+
+let test_csv_escaping () =
+  Alcotest.(check string) "plain" "abc" (Fom_util.Csv.escape "abc");
+  Alcotest.(check string) "comma" "\"a,b\"" (Fom_util.Csv.escape "a,b");
+  Alcotest.(check string) "quote" "\"a\"\"b\"" (Fom_util.Csv.escape "a\"b");
+  Alcotest.(check string) "newline" "\"a\nb\"" (Fom_util.Csv.escape "a\nb")
+
+let test_csv_render () =
+  let s = Fom_util.Csv.render ~header:[ "x"; "y" ] [ [ "1"; "2" ]; [ "3"; "a,b" ] ] in
+  Alcotest.(check string) "full document" "x,y\n1,2\n3,\"a,b\"\n" s
+
+let test_csv_roundtrip_file () =
+  let path = Filename.temp_file "fom" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Fom_util.Csv.write_file ~path ~header:[ "a" ] [ [ "1" ]; [ "2" ] ];
+      let ic = open_in path in
+      let len = in_channel_length ic in
+      let contents = really_input_string ic len in
+      close_in ic;
+      Alcotest.(check string) "written" "a\n1\n2\n" contents)
+
+let prop_csv_field_count_preserved =
+  QCheck.Test.make ~name:"csv rows keep their field count" ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 5) (string_gen_of_size (Gen.int_range 0 10) Gen.printable))
+    (fun fields ->
+      let line = Fom_util.Csv.line fields in
+      (* Quoted fields may contain commas; strip them by parsing
+         naively only when no field needed quoting. *)
+      if List.for_all (fun f -> not (String.contains f ',') && not (String.contains f '"')
+                                && not (String.contains f '\n')) fields
+      then
+        List.length (String.split_on_char ',' (String.trim line)) = List.length fields
+      else true)
+
+let prop_rng_int_bounds =
+  QCheck.Test.make ~name:"rng int stays in bounds" ~count:200
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, n) ->
+      let r = Rng.create seed in
+      let x = Rng.int r n in
+      x >= 0 && x < n)
+
+let prop_fit_power_law_roundtrip =
+  QCheck.Test.make ~name:"power-law fit recovers exact parameters" ~count:100
+    QCheck.(pair (float_range 0.5 4.0) (float_range 0.1 0.9))
+    (fun (alpha, beta) ->
+      let points =
+        Array.map (fun w -> (w, alpha *. Float.pow w beta)) [| 2.0; 4.0; 8.0; 16.0 |]
+      in
+      let p = Fit.power_law points in
+      Float.abs (p.Fit.alpha -. alpha) < 1e-6 && Float.abs (p.Fit.beta -. beta) < 1e-6)
+
+let prop_percentile_monotone =
+  QCheck.Test.make ~name:"percentile is monotone in p" ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 50) (float_range (-100.) 100.))
+    (fun l ->
+      let a = Array.of_list l in
+      Stats.percentile a 25.0 <= Stats.percentile a 75.0)
+
+let prop_distribution_probabilities_sum =
+  QCheck.Test.make ~name:"distribution probabilities sum to 1" ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 20) (pair (int_range 0 10) (int_range 1 5)))
+    (fun pairs ->
+      let d = Distribution.of_list pairs in
+      let total =
+        List.fold_left (fun acc k -> acc +. Distribution.probability d k) 0.0
+          (Distribution.support d)
+      in
+      Float.abs (total -. 1.0) < 1e-9)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_rng_int_bounds;
+      prop_fit_power_law_roundtrip;
+      prop_percentile_monotone;
+      prop_distribution_probabilities_sum;
+    ]
+
+let suite =
+  ( "util",
+    [
+      Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
+      Alcotest.test_case "rng seed sensitivity" `Quick test_rng_seed_sensitivity;
+      Alcotest.test_case "rng split independent" `Quick test_rng_split_independent;
+      Alcotest.test_case "rng copy" `Quick test_rng_copy;
+      Alcotest.test_case "rng int range" `Quick test_rng_int_range;
+      Alcotest.test_case "rng float range" `Quick test_rng_float_range;
+      Alcotest.test_case "rng bernoulli mean" `Quick test_rng_bernoulli_mean;
+      Alcotest.test_case "rng geometric mean" `Quick test_rng_geometric_mean;
+      Alcotest.test_case "rng categorical" `Quick test_rng_categorical;
+      Alcotest.test_case "stats basics" `Quick test_stats_basics;
+      Alcotest.test_case "stats empty" `Quick test_stats_empty;
+      Alcotest.test_case "stats percentile" `Quick test_stats_percentile;
+      Alcotest.test_case "stats weighted mean" `Quick test_stats_weighted_mean;
+      Alcotest.test_case "stats relative errors" `Quick test_stats_errors;
+      Alcotest.test_case "stats streaming accumulator" `Quick test_stats_acc_matches_batch;
+      Alcotest.test_case "fit exact line" `Quick test_fit_exact_line;
+      Alcotest.test_case "fit power law" `Quick test_fit_power_law_recovers;
+      Alcotest.test_case "fit eval" `Quick test_fit_eval;
+      Alcotest.test_case "distribution basics" `Quick test_distribution_basic;
+      Alcotest.test_case "distribution expectation" `Quick test_distribution_expect;
+      Alcotest.test_case "distribution empty" `Quick test_distribution_empty;
+      Alcotest.test_case "table render" `Quick test_table_render;
+      Alcotest.test_case "table float cell" `Quick test_table_float_cell;
+      Alcotest.test_case "csv escaping" `Quick test_csv_escaping;
+      Alcotest.test_case "csv render" `Quick test_csv_render;
+      Alcotest.test_case "csv file roundtrip" `Quick test_csv_roundtrip_file;
+      QCheck_alcotest.to_alcotest prop_csv_field_count_preserved;
+    ]
+    @ qcheck_cases )
