@@ -287,6 +287,66 @@ let workloads_cmd =
     (Cmd.info "workloads" ~doc:"Characterize every bundled workload preset.")
     term
 
+(* fom check *)
+let check_cmd =
+  let workload_opt =
+    Arg.(
+      value
+      & opt (some workload_conv) None
+      & info [ "w"; "workload" ] ~docv:"NAME"
+          ~doc:"Check only this workload (default: every bundled workload).")
+  in
+  let deep_flag =
+    Arg.(
+      value & flag
+      & info [ "deep" ]
+          ~doc:
+            "Also characterize each workload (IW fit + profile) and validate the derived \
+             model inputs.")
+  in
+  let run width depth window rob workload deep n =
+    let module C = Fom_check.Checker in
+    let module D = Fom_check.Diagnostic in
+    let params = params_of width depth window rob in
+    let machine = machine_of width depth window rob in
+    let workloads = match workload with Some w -> [ w ] | None -> all_workloads in
+    let reroot prefix =
+      List.map (fun d ->
+          D.make ~severity:d.D.severity ~code:d.D.code
+            ~path:(prefix ^ "." ^ d.D.path)
+            d.D.message)
+    in
+    let deep_diags config =
+      let prefix = "workload." ^ config.Fom_trace.Config.name in
+      match
+        let program = program_of config None in
+        Fom_analysis.Characterize.inputs ~params program ~n
+      with
+      | inputs -> reroot prefix (Fom_model.Inputs.check inputs)
+      | exception C.Invalid ds -> reroot prefix ds
+    in
+    let diags =
+      C.all
+        (Fom_model.Params.check params
+        :: Fom_uarch.Config.check machine
+        :: List.map Fom_trace.Config.check workloads
+        @ (if deep then List.map deep_diags workloads else []))
+    in
+    Format.printf "%a@." C.pp_report diags;
+    if C.has_errors diags then exit 1
+  in
+  let term =
+    Term.(
+      const run $ width_arg $ depth_arg $ window_arg $ rob_arg $ workload_opt $ deep_flag
+      $ instructions_arg 20_000)
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Validate the machine parameters and workload configurations, reporting every \
+          diagnostic (exit 1 if any is an error).")
+    term
+
 (* fom trends *)
 let trends_cmd =
   let run () =
@@ -312,4 +372,4 @@ let () =
   let doc = "the first-order superscalar processor model (Karkhanis & Smith, ISCA 2004)" in
   let info = Cmd.info "fom" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
-       [ iw_cmd; profile_cmd; model_cmd; simulate_cmd; compare_cmd; trends_cmd; workloads_cmd; trace_cmd ]))
+       [ iw_cmd; profile_cmd; model_cmd; simulate_cmd; compare_cmd; trends_cmd; workloads_cmd; trace_cmd; check_cmd ]))

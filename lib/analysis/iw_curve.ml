@@ -5,7 +5,8 @@ type t = { points : point list; fit : Fom_util.Fit.power_law }
 let default_windows = [ 4; 8; 16; 32; 64; 128; 256 ]
 
 let measure_source ?(windows = default_windows) ?(n = 30_000) ?latencies ?issue_limit source =
-  assert (windows <> []);
+  Fom_check.Checker.ensure ~code:"FOM-I030" ~path:"iw_curve.windows" (windows <> [])
+    "at least one window size is required";
   let points =
     List.map
       (fun window ->

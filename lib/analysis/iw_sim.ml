@@ -6,7 +6,9 @@ let ring_size = 1 lsl ring_bits
 let ring_mask = ring_size - 1
 
 let ipc_of_source ?(latencies = Fom_isa.Latency.unit) ?issue_limit source ~window ~n =
-  assert (window >= 1 && n > 0);
+  let ensure = Fom_check.Checker.ensure ~code:"FOM-I030" in
+  ensure ~path:"iw_sim.window" (window >= 1) "window size must be positive";
+  ensure ~path:"iw_sim.n" (n > 0) "instruction count must be positive";
   let next_instr = Fom_trace.Source.fresh source in
   (* Window of unissued instructions in age order. *)
   let win = Array.make window None in
@@ -42,7 +44,7 @@ let ipc_of_source ?(latencies = Fom_isa.Latency.unit) ?issue_limit source ~windo
     let kept = ref 0 in
     for k = 0 to !count - 1 do
       match win.(k) with
-      | None -> assert false
+      | None -> Fom_check.Checker.internal_error "window slot empty below count"
       | Some i ->
           if !issued < limit && ready i then begin
             let slot = i.Instr.index land ring_mask in

@@ -95,14 +95,15 @@ let taint_mark taint ~group_id index =
 let run_source ?(cache = Hierarchy.baseline) ?(predictor = Predictor.default_spec)
     ?(latencies = Latency.default) ?(burst_window = 48) ?(group_window = 128)
     ?(grouping = Dependence_aware) ?dtlb source ~n =
-  assert (n > 0);
+  Fom_check.Checker.ensure ~code:"FOM-I030" ~path:"profile.n" (n > 0)
+    "profiled instruction count must be positive";
   let hierarchy = Hierarchy.create cache in
   let pred = Predictor.create predictor in
   let next_instr = Fom_trace.Source.fresh source in
   let counts = Array.make (List.length Opclass.all) 0 in
   let class_slot cls =
     let rec find k = function
-      | [] -> assert false
+      | [] -> Fom_check.Checker.internal_error "instruction class missing from Opclass.all"
       | c :: rest -> if Opclass.equal c cls then k else find (k + 1) rest
     in
     find 0 Opclass.all
@@ -165,7 +166,7 @@ let run_source ?(cache = Hierarchy.baseline) ?(predictor = Predictor.default_spe
     let tlb_marked = ref false in
     (match instr.Instr.opclass with
     | Opclass.Load -> (
-        if translate ~count:true (Option.get instr.Instr.mem) then begin
+        if translate ~count:true (Instr.mem_exn instr) then begin
           if grouper_add ~split:tlb_tainted tlb_groups instr.Instr.index then
             incr tlb_group_id;
           if grouping = Dependence_aware then begin
@@ -173,7 +174,7 @@ let run_source ?(cache = Hierarchy.baseline) ?(predictor = Predictor.default_spe
             tlb_marked := true
           end
         end;
-        match Hierarchy.access_data hierarchy (Option.get instr.Instr.mem) with
+        match Hierarchy.access_data hierarchy (Instr.mem_exn instr) with
         | Hierarchy.L1_hit -> latency_sum := !latency_sum +. float_of_int base_latency
         | Hierarchy.L2_hit ->
             incr short_misses;
@@ -195,12 +196,12 @@ let run_source ?(cache = Hierarchy.baseline) ?(predictor = Predictor.default_spe
                their base latency here. *)
             latency_sum := !latency_sum +. float_of_int base_latency)
     | Opclass.Store ->
-        ignore (translate ~count:false (Option.get instr.Instr.mem));
-        ignore (Hierarchy.access_data hierarchy (Option.get instr.Instr.mem));
+        ignore (translate ~count:false (Instr.mem_exn instr));
+        ignore (Hierarchy.access_data hierarchy (Instr.mem_exn instr));
         latency_sum := !latency_sum +. float_of_int base_latency
     | Opclass.Branch ->
         incr branches;
-        let taken = (Option.get instr.Instr.ctrl).Instr.taken in
+        let taken = (Instr.ctrl_exn instr).Instr.taken in
         if not (Predictor.observe pred ~pc:instr.Instr.pc ~taken) then begin
           incr mispredictions;
           ignore (grouper_add bursts instr.Instr.index)

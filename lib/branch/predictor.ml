@@ -36,7 +36,19 @@ type impl =
 
 type t = { spec : spec; impl : impl; mutable s : stats }
 
-let check_bits bits = assert (bits >= 1 && bits <= 28)
+let diagnostics spec =
+  let module C = Fom_check.Checker in
+  match spec with
+  | Ideal | Always_taken -> C.ok
+  | Bimodal bits | Gshare bits | Local bits | Tournament bits ->
+      C.check ~code:"FOM-M014" ~path:"predictor.bits"
+        (bits >= 1 && bits <= 28)
+        (Printf.sprintf "table size log2 must be within [1, 28], got %d" bits)
+
+let check_bits bits =
+  Fom_check.Checker.ensure ~code:"FOM-M014" ~path:"predictor.bits"
+    (bits >= 1 && bits <= 28)
+    "table size log2 must be within [1, 28]"
 
 let create spec =
   let impl =

@@ -26,6 +26,9 @@ type spec =
 val default_spec : spec
 (** The paper's 8K-entry gShare: [Gshare 13]. *)
 
+val diagnostics : spec -> Fom_check.Diagnostic.t list
+(** [FOM-M014] diagnostics for out-of-range table sizes. *)
+
 type t
 
 val create : spec -> t

@@ -11,7 +11,13 @@ type t = {
 
 val make : size:int -> assoc:int -> line:int -> t
 (** Checks that [line] is a power of two, that [size] is divisible by
-    [assoc * line], and that all fields are positive. *)
+    [assoc * line], and that all fields are positive; raises
+    {!Fom_check.Checker.Invalid} with [FOM-M010] diagnostics
+    otherwise. *)
+
+val diagnostics : ?path:string -> t -> Fom_check.Diagnostic.t list
+(** Collect every [FOM-M010] violation, prefixing context paths with
+    [path] (default ["cache.geometry"]). *)
 
 val sets : t -> int
 (** Number of sets. *)

@@ -56,7 +56,29 @@ let zero_stats =
     long_misses = 0;
   }
 
+let diagnostics (config : config) =
+  let module C = Fom_check.Checker in
+  let level path = function Ideal -> C.ok | Real g -> Geometry.diagnostics ~path g in
+  C.all
+    [
+      level "cache.l1i" config.l1i;
+      level "cache.l1d" config.l1d;
+      (match config.l2 with
+      | Ideal_l2 | No_l2 -> C.ok
+      | Real_l2 g -> Geometry.diagnostics ~path:"cache.l2" g);
+      C.min_int ~code:"FOM-M015" ~path:"cache.latencies.l1" ~min:0 config.latencies.l1;
+      C.check ~code:"FOM-M015" ~path:"cache.latencies.l2"
+        (config.latencies.l2 >= config.latencies.l1)
+        (Printf.sprintf "L2 latency (%d) must not be below L1 latency (%d)"
+           config.latencies.l2 config.latencies.l1);
+      C.check ~code:"FOM-M015" ~path:"cache.latencies.memory"
+        (config.latencies.memory >= config.latencies.l2)
+        (Printf.sprintf "memory latency (%d) must not be below L2 latency (%d)"
+           config.latencies.memory config.latencies.l2);
+    ]
+
 let create (config : config) =
+  Fom_check.Checker.run_exn (diagnostics config);
   let level = function Ideal -> None | Real g -> Some (Sa_cache.create g) in
   let l2 =
     match config.l2 with
@@ -72,7 +94,7 @@ let beyond_l1 t addr =
   | Ideal_l2, _ -> L2_hit
   | No_l2, _ -> Memory
   | Real_l2 _, Some l2 -> if Sa_cache.access l2 addr then L2_hit else Memory
-  | Real_l2 _, None -> assert false
+  | Real_l2 _, None -> Fom_check.Checker.internal_error "real L2 configured without a cache"
 
 let access_inst t addr =
   let outcome =

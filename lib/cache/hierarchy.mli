@@ -54,6 +54,10 @@ val fig14 : config
 (** Figure 14's setup: a 128 KiB L1D with no L2 (every miss is long,
     200 cycles); instruction side ideal. *)
 
+val diagnostics : config -> Fom_check.Diagnostic.t list
+(** [FOM-M010]/[FOM-M015] diagnostics: geometry of each real level and
+    the L1 <= L2 <= memory latency ordering. *)
+
 type t
 
 val create : config -> t

@@ -4,9 +4,19 @@ let default_spec = { entries = 64; page_bits = 13; walk_latency = 30 }
 
 type t = { spec : spec; cache : Sa_cache.t }
 
+let diagnostics spec =
+  let module C = Fom_check.Checker in
+  C.all
+    [
+      C.check ~code:"FOM-M011" ~path:"dtlb.entries"
+        (spec.entries > 0 && spec.entries land (spec.entries - 1) = 0)
+        (Printf.sprintf "entry count must be a positive power of two, got %d" spec.entries);
+      C.min_int ~code:"FOM-M011" ~path:"dtlb.page_bits" ~min:6 spec.page_bits;
+      C.min_int ~code:"FOM-M011" ~path:"dtlb.walk_latency" ~min:1 spec.walk_latency;
+    ]
+
 let create spec =
-  assert (spec.entries > 0 && spec.entries land (spec.entries - 1) = 0);
-  assert (spec.page_bits >= 6 && spec.walk_latency >= 1);
+  Fom_check.Checker.run_exn (diagnostics spec);
   (* A fully-associative cache whose lines are pages is exactly a
      TLB. *)
   let page = 1 lsl spec.page_bits in

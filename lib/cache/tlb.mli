@@ -16,6 +16,9 @@ type spec = {
 val default_spec : spec
 (** 64 entries, 8 KiB pages, 30-cycle walk. *)
 
+val diagnostics : spec -> Fom_check.Diagnostic.t list
+(** [FOM-M011] diagnostics for a malformed spec. *)
+
 type t
 
 val create : spec -> t

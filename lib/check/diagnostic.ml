@@ -1,0 +1,32 @@
+type severity = Error | Warning | Hint
+
+type t = {
+  code : string;
+  severity : severity;
+  path : string;
+  message : string;
+}
+
+let make ?(severity = Error) ~code ~path message =
+  { code; severity; path; message }
+
+let is_error t = t.severity = Error
+
+let severity_label = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Hint -> "hint"
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Hint -> 2
+
+let compare a b =
+  let c = Int.compare (severity_rank a.severity) (severity_rank b.severity) in
+  if c <> 0 then c
+  else
+    let c = String.compare a.path b.path in
+    if c <> 0 then c else String.compare a.code b.code
+
+let to_string t =
+  Printf.sprintf "%s[%s] %s: %s" (severity_label t.severity) t.code t.path t.message
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

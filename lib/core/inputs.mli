@@ -34,8 +34,15 @@ type t = {
       (** TLB-miss group sizes, same overlap rule as long misses *)
 }
 
+val check : t -> Fom_check.Diagnostic.t list
+(** Collect every [FOM-Ixxx] violation: rate ranges, the power-law
+    shape ([alpha > 0], [beta], [fit_r2] in (0, 1]]), miss-rate
+    orderings (warnings), and consistency between each event rate and
+    its group-size distribution. *)
+
 val validate : t -> unit
-(** Assert ranges (rates within [0, 1], positive fit, etc.). *)
+(** Raise {!Fom_check.Checker.Invalid} with everything {!check}
+    reports at error severity (warnings and hints never raise). *)
 
 val mispred_burst_mean : t -> float
 (** Mean misprediction burst size [n] for eq. 3; 1.0 when no bursts

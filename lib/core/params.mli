@@ -19,4 +19,10 @@ val baseline : t
 (** The paper's baseline machine: width 4, depth 5, window 48, ROB
     128, delays 8 and 200. *)
 
+val check : t -> Fom_check.Diagnostic.t list
+(** Collect every [FOM-Pxxx] violation: positivity of the sizes and
+    delays, [window_size <= rob_size], [short_delay <= long_delay]. *)
+
 val validate : t -> unit
+(** Raise {!Fom_check.Checker.Invalid} with everything {!check}
+    reports at error severity. *)

@@ -6,8 +6,10 @@ let drain_plus_ramp iw (params : Params.t) =
   let ramp = Transient.ramp_up iw ~window in
   (drain.Transient.penalty, ramp.Transient.penalty)
 
+let ensure = Fom_check.Checker.ensure ~code:"FOM-I030"
+
 let branch_misprediction iw params ~burst =
-  assert (burst >= 1.0);
+  ensure ~path:"penalties.burst" (burst >= 1.0) "burst size must be at least 1";
   let drain, ramp = drain_plus_ramp iw params in
   float_of_int params.Params.pipeline_depth +. ((drain +. ramp) /. burst)
 
@@ -26,8 +28,10 @@ let icache_miss iw (params : Params.t) ~delay =
   Float.max 0.0 (Float.max 0.0 (float_of_int delay -. covered) +. ramp -. drain)
 
 let dcache_long_miss ?(rob_fill = 0.0) (params : Params.t) ~group_factor =
-  assert (group_factor > 0.0 && group_factor <= 1.0);
-  assert (rob_fill >= 0.0);
+  ensure ~path:"penalties.group_factor"
+    (group_factor > 0.0 && group_factor <= 1.0)
+    "group factor must be in (0, 1]";
+  ensure ~path:"penalties.rob_fill" (rob_fill >= 0.0) "ROB fill must be non-negative";
   Float.max 0.0 (float_of_int params.Params.long_delay -. rob_fill) *. group_factor
 
 let rob_fill_estimate iw (params : Params.t) =

@@ -1,7 +1,8 @@
 let combine weighted =
-  assert (weighted <> []);
+  let ensure = Fom_check.Checker.ensure ~code:"FOM-I030" in
+  ensure ~path:"phased.weighted" (weighted <> []) "phase list must be non-empty";
   let total = List.fold_left (fun acc (w, _) -> acc +. w) 0.0 weighted in
-  assert (total > 0.0);
+  ensure ~path:"phased.weighted" (total > 0.0) "phase weights must sum to a positive total";
   let mean field =
     List.fold_left (fun acc (w, b) -> acc +. (w *. field b)) 0.0 weighted /. total
   in

@@ -17,8 +17,11 @@ let drain iw ~window =
   let cycles = float_of_int cycles in
   { cycles; instructions; penalty = cycles -. (instructions /. steady) }
 
+let ensure = Fom_check.Checker.ensure ~code:"FOM-I030"
+
 let ramp_up ?(epsilon = 0.1) iw ~window =
-  assert (Float.is_finite iw.Iw.issue_width);
+  ensure ~path:"transient.ramp_up" (Float.is_finite iw.Iw.issue_width)
+    "ramp-up needs a finite issue width";
   let steady = Iw.steady_state_ipc iw ~window in
   let target = (1.0 -. epsilon) *. steady in
   let cap = float_of_int window in
@@ -40,8 +43,9 @@ type interval = {
 }
 
 let interval iw ~window ~pipeline_depth ~instructions =
-  assert (Float.is_finite iw.Iw.issue_width);
-  assert (instructions > 0);
+  ensure ~path:"transient.interval" (Float.is_finite iw.Iw.issue_width)
+    "interval analysis needs a finite issue width";
+  ensure ~path:"transient.interval" (instructions > 0) "instruction count must be positive";
   let cap = float_of_int window in
   let n = float_of_int instructions in
   let trace = ref [] in

@@ -54,7 +54,9 @@ let fraction_near_width iw ~window ~pipeline_depth ~width ~instructions =
 
 let mispred_distance_for_fraction ?(iw = default_iw) ?(window = 48) ?(pipeline_depth = 5)
     ~width ~fraction () =
-  assert (fraction > 0.0 && fraction < 1.0);
+  Fom_check.Checker.ensure ~code:"FOM-I030" ~path:"trends.fraction"
+    (fraction > 0.0 && fraction < 1.0)
+    "target fraction must be strictly between 0 and 1";
   let window = Stdlib.max window (16 * width * width) in
   (* The fraction of near-peak cycles grows monotonically with the
      interval length: binary search for the smallest sufficient

@@ -19,6 +19,9 @@ val make :
 (** Build with limits for the given classes; omitted classes stay
     unbounded. All counts must be at least 1. *)
 
+val diagnostics : t -> Fom_check.Diagnostic.t list
+(** [FOM-M013] diagnostics for unit counts below one. *)
+
 val of_class : t -> Opclass.t -> int
 (** Units available for a class; [max_int] when unbounded. *)
 

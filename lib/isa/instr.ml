@@ -11,13 +11,33 @@ type t = {
   ctrl : ctrl option;
 }
 
+(* Static messages: [make] runs once per generated instruction, so the
+   happy path must not allocate. *)
+let ensure = Fom_check.Checker.ensure ~code:"FOM-T120"
+
 let make ~index ~pc ~opclass ?dst ?(srcs = []) ?(deps = [||]) ?mem ?ctrl () =
-  assert (index >= 0);
-  assert (List.length srcs <= 2);
-  assert (Array.for_all (fun d -> d >= 0 && d < index) deps);
-  assert (Opclass.is_memory opclass = Option.is_some mem);
-  assert (Opclass.is_control opclass = Option.is_some ctrl);
+  ensure ~path:"instr.index" (index >= 0) "dynamic index must be non-negative";
+  ensure ~path:"instr.srcs" (List.length srcs <= 2) "at most two source registers";
+  ensure ~path:"instr.deps"
+    (Array.for_all (fun d -> d >= 0 && d < index) deps)
+    "dependences must name earlier instructions";
+  ensure ~path:"instr.mem"
+    (Opclass.is_memory opclass = Option.is_some mem)
+    "memory operations, and only they, carry an address";
+  ensure ~path:"instr.ctrl"
+    (Opclass.is_control opclass = Option.is_some ctrl)
+    "control operations, and only they, carry direction info";
   { index; pc; opclass; dst; srcs; deps; mem; ctrl }
+
+let mem_exn t =
+  match t.mem with
+  | Some addr -> addr
+  | None -> Fom_check.Checker.internal_error "instruction carries no memory address"
+
+let ctrl_exn t =
+  match t.ctrl with
+  | Some c -> c
+  | None -> Fom_check.Checker.internal_error "instruction carries no control info"
 
 let is_load t = Opclass.equal t.opclass Opclass.Load
 let is_store t = Opclass.equal t.opclass Opclass.Store

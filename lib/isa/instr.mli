@@ -31,9 +31,20 @@ type t = {
 val make :
   index:int -> pc:int -> opclass:Opclass.t -> ?dst:Reg.t ->
   ?srcs:Reg.t list -> ?deps:int array -> ?mem:int -> ?ctrl:ctrl -> unit -> t
-(** Smart constructor; asserts structural well-formedness (memory ops
+(** Smart constructor; checks structural well-formedness (memory ops
     carry [mem], control ops carry [ctrl], at most two sources, all
-    dependence indices strictly less than [index]). *)
+    dependence indices strictly less than [index]) and raises
+    {!Fom_check.Checker.Invalid} with a [FOM-T120] diagnostic on
+    violation. *)
+
+val mem_exn : t -> int
+(** The effective address of a memory operation. Raises the internal
+    [FOM-X001] diagnostic when called on a non-memory instruction —
+    for consumers that have already matched on the opclass. *)
+
+val ctrl_exn : t -> ctrl
+(** The control record of a branch or jump; same convention as
+    {!mem_exn}. *)
 
 val is_load : t -> bool
 val is_store : t -> bool

@@ -1,8 +1,21 @@
 type t = { alu : int; mul : int; div : int; load : int; store : int; branch : int; jump : int }
 
+let diagnostics t =
+  let module C = Fom_check.Checker in
+  let field name v = C.min_int ~code:"FOM-M012" ~path:("latency." ^ name) ~min:1 v in
+  C.all
+    [
+      field "alu" t.alu;
+      field "mul" t.mul;
+      field "div" t.div;
+      field "load" t.load;
+      field "store" t.store;
+      field "branch" t.branch;
+      field "jump" t.jump;
+    ]
+
 let check t =
-  assert (t.alu >= 1 && t.mul >= 1 && t.div >= 1 && t.load >= 1);
-  assert (t.store >= 1 && t.branch >= 1 && t.jump >= 1);
+  Fom_check.Checker.run_exn (diagnostics t);
   t
 
 let default = check { alu = 1; mul = 3; div = 12; load = 1; store = 1; branch = 1; jump = 1 }

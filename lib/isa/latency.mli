@@ -23,6 +23,9 @@ val make :
 (** Build a custom profile; omitted classes use the {!default} values.
     All latencies must be at least 1. *)
 
+val diagnostics : t -> Fom_check.Diagnostic.t list
+(** [FOM-M012] diagnostics for latencies below one cycle. *)
+
 val of_class : t -> Opclass.t -> int
 (** Latency of a class under this profile. *)
 

@@ -3,7 +3,9 @@ type t = int
 let count = 32
 
 let of_int i =
-  assert (i >= 0 && i < count);
+  Fom_check.Checker.ensure ~code:"FOM-T121" ~path:"reg.of_int"
+    (i >= 0 && i < count)
+    "register index out of range";
   i
 
 let to_int r = r

@@ -10,8 +10,15 @@ type t = {
 }
 
 let create ?seed_rng kind region =
-  assert (region.size > 0 && region.size mod 8 = 0);
-  (match kind with Stride { stride } -> assert (stride > 0 && stride mod 8 = 0) | Random | Chase -> ());
+  let ensure = Fom_check.Checker.ensure ~code:"FOM-T050" in
+  ensure ~path:"address_gen.region.size"
+    (region.size > 0 && region.size mod 8 = 0)
+    "region size must be a positive multiple of 8 bytes";
+  (match kind with
+  | Stride { stride } ->
+      ensure ~path:"address_gen.stride" (stride > 0 && stride mod 8 = 0)
+        "stride must be a positive multiple of 8 bytes"
+  | Random | Chase -> ());
   let rng = match seed_rng with Some r -> Fom_util.Rng.split r | None -> Fom_util.Rng.create 0 in
   { kind; region; rng; offset = 0 }
 

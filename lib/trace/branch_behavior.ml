@@ -7,10 +7,18 @@ type kind =
 type t = { kind : kind; rng : Fom_util.Rng.t; mutable step : int }
 
 let create ?seed_rng kind =
+  let ensure = Fom_check.Checker.ensure in
   (match kind with
-  | Biased p | Chaotic p -> assert (p >= 0.0 && p <= 1.0)
-  | Loop trip -> assert (trip >= 1)
-  | Pattern a -> assert (Array.length a > 0));
+  | Biased p | Chaotic p ->
+      ensure ~code:"FOM-T030" ~path:"branch_behavior.taken_probability"
+        (p >= 0.0 && p <= 1.0)
+        "taken probability must be within [0, 1]"
+  | Loop trip ->
+      ensure ~code:"FOM-T031" ~path:"branch_behavior.trip" (trip >= 1)
+        "loop trip count must be at least 1"
+  | Pattern a ->
+      ensure ~code:"FOM-T032" ~path:"branch_behavior.pattern" (Array.length a > 0)
+        "direction pattern must be non-empty");
   let rng = match seed_rng with Some r -> Fom_util.Rng.split r | None -> Fom_util.Rng.create 0 in
   { kind; rng; step = 0 }
 

@@ -78,8 +78,13 @@ type t = {
   latencies : Fom_isa.Latency.t;
 }
 
+val check : t -> Fom_check.Diagnostic.t list
+(** Collect every [FOM-Txxx] violation of the documented constraints,
+    with context paths rooted at [workload.<name>]. *)
+
 val validate : t -> unit
-(** Assert every documented constraint; called by {!Program.generate}. *)
+(** Raise {!Fom_check.Checker.Invalid} with everything {!check}
+    reports at error severity; called by {!Program.generate}. *)
 
 val alu_frac : t -> float
 (** The ALU remainder of the mix. *)

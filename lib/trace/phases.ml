@@ -4,9 +4,19 @@ type phase = { config : Config.t; instructions : int }
 
 let schedule_length phases = List.fold_left (fun acc p -> acc + p.instructions) 0 phases
 
+let check phases =
+  let module C = Fom_check.Checker in
+  C.all
+    (C.check ~code:"FOM-T040" ~path:"phases" (phases <> []) "phase schedule must be non-empty"
+    :: List.mapi
+         (fun i p ->
+           C.min_int ~code:"FOM-T041"
+             ~path:(Printf.sprintf "phases[%d].instructions" i)
+             ~min:1 p.instructions)
+         phases)
+
 let source phases =
-  assert (phases <> []);
-  List.iter (fun p -> assert (p.instructions > 0)) phases;
+  Fom_check.Checker.run_exn (check phases);
   let programs = List.map (fun p -> (Program.generate p.config, p.instructions)) phases in
   let label =
     String.concat "+" (List.map (fun p -> p.config.Config.name) phases)
@@ -24,16 +34,19 @@ let source phases =
       match !remaining with
       | (program, budget) :: rest ->
           remaining := rest;
-          current := Some (Stream.create program, budget);
+          let active = (Stream.create program, budget) in
+          current := Some active;
           phase_base := !global;
-          produced_in_phase := 0
-      | [] -> assert false
+          produced_in_phase := 0;
+          active
+      | [] -> Fom_check.Checker.internal_error "phase schedule became empty"
     in
     fun () ->
-      (match !current with
-      | Some (_, budget) when !produced_in_phase < budget -> ()
-      | Some _ | None -> activate ());
-      let stream, _ = Option.get !current in
+      let stream, _ =
+        match !current with
+        | Some ((_, budget) as active) when !produced_in_phase < budget -> active
+        | Some _ | None -> activate ()
+      in
       let ins = Stream.next stream in
       incr produced_in_phase;
       let index = !global in

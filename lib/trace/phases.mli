@@ -18,9 +18,14 @@ type phase = {
   instructions : int;  (** phase length per activation (> 0) *)
 }
 
+val check : phase list -> Fom_check.Diagnostic.t list
+(** [FOM-T040]/[FOM-T041] diagnostics: non-empty schedule, positive
+    per-phase instruction budgets. *)
+
 val source : phase list -> Source.t
 (** A replayable source cycling through the schedule. The label joins
-    the phase names. Requires a non-empty schedule. *)
+    the phase names. Requires a non-empty schedule (raises
+    {!Fom_check.Checker.Invalid} otherwise). *)
 
 val schedule_length : phase list -> int
 (** Instructions in one full pass of the schedule. *)

@@ -144,7 +144,8 @@ let generate config =
     | Opclass.Store -> emit_store ()
     | (Opclass.Alu | Opclass.Mul | Opclass.Div) as opclass ->
         plain ~opclass ~nsrc:(sample_nsrc rng config.Config.deps.nsrc_weights)
-    | Opclass.Branch | Opclass.Jump -> assert false
+    | Opclass.Branch | Opclass.Jump ->
+        Fom_check.Checker.internal_error "control class drawn as a body instruction"
   in
   let ctrl = config.Config.control in
   let mean_body = Float.max 1.0 (Config.mean_block_len config -. 1.0) in

@@ -18,8 +18,14 @@ let of_program program =
   }
 
 let of_instrs ?(label = "recorded") instrs =
-  assert (Array.length instrs > 0);
-  Array.iteri (fun i (ins : Instr.t) -> assert (ins.Instr.index = i)) instrs;
+  let ensure = Fom_check.Checker.ensure ~code:"FOM-T110" in
+  ensure ~path:"source.of_instrs" (Array.length instrs > 0)
+    "recorded trace must be non-empty";
+  Array.iteri
+    (fun i (ins : Instr.t) ->
+      ensure ~path:"source.of_instrs" (ins.Instr.index = i)
+        "recorded trace must be in dynamic index order")
+    instrs;
   let len = Array.length instrs in
   {
     label;
@@ -78,16 +84,32 @@ let save ~path t ~n =
           deps
       done)
 
-let parse_line ~index ~next_dst line =
+(* A parse error names the file and the 1-based line number in the
+   diagnostic path ([file.trace:12]) and quotes the offending line in
+   the message. *)
+let parse_error ~path ~lineno ~code msg =
+  raise
+    (Fom_check.Checker.Invalid
+       [
+         Fom_check.Diagnostic.make ~code
+           ~path:(Printf.sprintf "%s:%d" path lineno)
+           msg;
+       ])
+
+let parse_line ~path ~lineno ~index ~next_dst line =
   match String.split_on_char ' ' (String.trim line) with
   | cls_s :: pc_s :: mem_s :: dir_s :: target_s :: dep_fields -> (
       match class_of_string cls_s with
-      | None -> failwith (Printf.sprintf "unknown instruction class %S in %S" cls_s line)
+      | None ->
+          parse_error ~path ~lineno ~code:"FOM-T103"
+            (Printf.sprintf "unknown instruction class %S in %S" cls_s line)
       | Some opclass ->
           let parse_hex what s =
             match int_of_string_opt ("0x" ^ s) with
             | Some v -> v
-            | None -> failwith (Printf.sprintf "bad %s %S in %S" what s line)
+            | None ->
+                parse_error ~path ~lineno ~code:"FOM-T104"
+                  (Printf.sprintf "bad %s %S in %S" what s line)
           in
           let pc = parse_hex "pc" pc_s in
           let mem = if mem_s = "-" then None else Some (parse_hex "address" mem_s) in
@@ -103,8 +125,15 @@ let parse_line ~index ~next_dst line =
             |> List.map (fun f ->
                    match int_of_string_opt f with
                    | Some d when d >= 0 && d < index -> d
-                   | Some _ -> failwith (Printf.sprintf "dependence %s not before line in %S" f line)
-                   | None -> failwith (Printf.sprintf "bad dependence %S in %S" f line))
+                   | Some d ->
+                       parse_error ~path ~lineno ~code:"FOM-T105"
+                         (Printf.sprintf
+                            "dependence %d must name an earlier instruction (this is \
+                             instruction %d) in %S"
+                            d index line)
+                   | None ->
+                       parse_error ~path ~lineno ~code:"FOM-T104"
+                         (Printf.sprintf "bad dependence %S in %S" f line))
             |> Array.of_list
           in
           let dst =
@@ -115,7 +144,10 @@ let parse_line ~index ~next_dst line =
             | Opclass.Store | Opclass.Branch | Opclass.Jump -> None
           in
           Instr.make ~index ~pc ~opclass ?dst ~deps ?mem ?ctrl ())
-  | _ -> failwith (Printf.sprintf "malformed trace line %S" line)
+  | _ ->
+      parse_error ~path ~lineno ~code:"FOM-T106"
+        (Printf.sprintf "malformed trace line %S (expected class pc mem dir target deps...)"
+           line)
 
 let load ~path =
   let ic = open_in path in
@@ -124,19 +156,25 @@ let load ~path =
     (fun () ->
       (match input_line ic with
       | magic when String.trim magic = format_magic -> ()
-      | magic -> failwith (Printf.sprintf "not a fom trace (header %S)" magic)
-      | exception End_of_file -> failwith "empty trace file");
+      | magic ->
+          parse_error ~path ~lineno:1 ~code:"FOM-T101"
+            (Printf.sprintf "not a fom trace (header %S, expected %S)" magic format_magic)
+      | exception End_of_file ->
+          parse_error ~path ~lineno:1 ~code:"FOM-T102" "empty trace file");
       let next_dst = ref 0 in
       let instrs = ref [] in
       let index = ref 0 in
+      let lineno = ref 1 in
       (try
          while true do
            let line = input_line ic in
+           incr lineno;
            if String.trim line <> "" then begin
-             instrs := parse_line ~index:!index ~next_dst line :: !instrs;
+             instrs := parse_line ~path ~lineno:!lineno ~index:!index ~next_dst line :: !instrs;
              incr index
            end
          done
        with End_of_file -> ());
-      if !instrs = [] then failwith "trace file has no instructions";
+      if !instrs = [] then
+        parse_error ~path ~lineno:!lineno ~code:"FOM-T107" "trace file has no instructions";
       of_instrs ~label:path (Array.of_list (List.rev !instrs)))

@@ -54,4 +54,6 @@ val save : path:string -> t -> n:int -> unit
 
 val load : path:string -> t
 (** Parse a trace file into a replayable source (eagerly).
-    @raise Failure on malformed input, with the offending line. *)
+    @raise Fom_check.Checker.Invalid on malformed input, with a
+    [FOM-T10x] diagnostic whose path is [file:line] (1-based) and
+    whose message quotes the offending line. *)

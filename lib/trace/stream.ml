@@ -113,13 +113,27 @@ let next t =
   t.index <- index + 1;
   let is_terminator = t.pos = blk.len - 1 in
   if is_terminator then t.pos <- 0 else t.pos <- t.pos + 1;
-  let mem = Option.map (fun _ -> Address_gen.next (Option.get t.agens.(s.uid))) s.agen_spec in
+  let mem =
+    match s.agen_spec with
+    | None -> None
+    | Some _ -> (
+        match t.agens.(s.uid) with
+        | Some agen -> Some (Address_gen.next agen)
+        | None ->
+            Fom_check.Checker.internal_error
+              "static with an address-generator spec has no generator")
+  in
   let chain = if t.chase_chains > 0 then s.uid mod t.chase_chains else s.uid in
   let deps, srcs =
     if s.chase && t.last_instance.(chain) >= 0 then
       (* Pointer chase: serialized on the previous load of its chain;
          the source register is that load's result. *)
-      ([| t.last_instance.(chain) |], [ Option.get s.dst ])
+      let dst =
+        match s.dst with
+        | Some d -> d
+        | None -> Fom_check.Checker.internal_error "chase load has no destination register"
+      in
+      ([| t.last_instance.(chain) |], [ dst ])
     else sample_deps t s.nsrc
   in
   if s.chase then t.last_instance.(chain) <- index;
@@ -141,7 +155,13 @@ let next t =
         t.block <- succ;
         Some { Instr.target = program.Program.statics.(target_blk.first).pc; taken = true }
     | Opclass.Branch ->
-        let taken = Branch_behavior.next (Option.get t.behaviors.(s.uid)) in
+        let taken =
+          match t.behaviors.(s.uid) with
+          | Some b -> Branch_behavior.next b
+          | None ->
+              Fom_check.Checker.internal_error
+                "branch static has no behavior generator"
+        in
         let is_loop_exit = (not taken) && blk.taken_succ <= t.block in
         let succ =
           if taken then blk.taken_succ

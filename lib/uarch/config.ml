@@ -29,15 +29,47 @@ let baseline =
     clusters = 1;
   }
 
-let validate t =
-  assert (t.width >= 1);
-  assert (t.pipeline_depth >= 1);
-  assert (t.window_size >= 1);
-  assert (t.rob_size >= t.window_size);
-  assert (t.fetch_buffer >= 0);
-  assert (t.clusters >= 1);
-  assert (t.width mod t.clusters = 0);
-  assert (t.window_size mod t.clusters = 0)
+let check t =
+  let module C = Fom_check.Checker in
+  let structural =
+    C.all
+      [
+        C.min_int ~code:"FOM-M001" ~path:"machine.width" ~min:1 t.width;
+        C.min_int ~code:"FOM-M002" ~path:"machine.pipeline_depth" ~min:1 t.pipeline_depth;
+        C.min_int ~code:"FOM-M003" ~path:"machine.window_size" ~min:1 t.window_size;
+        C.check ~code:"FOM-M004" ~path:"machine.window_size"
+          (t.rob_size >= t.window_size)
+          (Printf.sprintf "window_size (%d) must not exceed rob_size (%d)" t.window_size
+             t.rob_size);
+        C.min_int ~code:"FOM-M005" ~path:"machine.fetch_buffer" ~min:0 t.fetch_buffer;
+        C.min_int ~code:"FOM-M006" ~path:"machine.clusters" ~min:1 t.clusters;
+        (if t.clusters >= 1 then
+           C.all
+             [
+               C.check ~code:"FOM-M007" ~path:"machine.clusters"
+                 (t.width mod t.clusters = 0)
+                 (Printf.sprintf "clusters (%d) must divide width (%d)" t.clusters t.width);
+               C.check ~code:"FOM-M008" ~path:"machine.clusters"
+                 (t.window_size mod t.clusters = 0)
+                 (Printf.sprintf "clusters (%d) must divide window_size (%d)" t.clusters
+                    t.window_size);
+             ]
+         else C.ok);
+      ]
+  in
+  let components =
+    C.all
+      [
+        Fom_isa.Latency.diagnostics t.latencies;
+        Fom_isa.Fu_set.diagnostics t.fu_limits;
+        Fom_branch.Predictor.diagnostics t.predictor;
+        Fom_cache.Hierarchy.diagnostics t.cache;
+        (match t.dtlb with Some spec -> Fom_cache.Tlb.diagnostics spec | None -> C.ok);
+      ]
+  in
+  C.all [ structural; components ]
+
+let validate t = Fom_check.Checker.run_exn (check t)
 
 let ideal ?width ?window_size t =
   {

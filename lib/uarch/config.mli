@@ -34,8 +34,15 @@ val baseline : t
     window, a 128-entry ROB, 4K/4-way L1s under a 512K L2 and an
     8K-entry gShare. *)
 
+val check : t -> Fom_check.Diagnostic.t list
+(** All diagnostics for the configuration: structural sanity
+    ([FOM-M001]..[FOM-M008] — positive sizes, window <= ROB, clusters
+    dividing width and window) plus the component checks (latencies,
+    functional units, predictor, cache hierarchy, optional TLB).
+    Empty list = valid. *)
+
 val validate : t -> unit
-(** Assert structural sanity (positive sizes, window <= ROB). *)
+(** @raise Fom_check.Checker.Invalid if {!check} reports any error. *)
 
 val ideal : ?width:int -> ?window_size:int -> t -> t
 (** Idealize a configuration: perfect caches and branch prediction,

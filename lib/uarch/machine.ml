@@ -166,7 +166,7 @@ let retire t =
         t.retired <- t.retired + 1;
         decr budget
     | Some _ -> continue_ := false
-    | None -> assert false
+    | None -> Fom_check.Checker.internal_error "ROB head empty while rob_count > 0"
   done
 
 (* Translate a memory access; a TLB miss adds the walk latency up
@@ -187,7 +187,7 @@ let issue_latency t (f : inflight) =
   let lat = Latency.of_class t.config.Config.latencies f.instr.Instr.opclass in
   match f.instr.Instr.opclass with
   | Opclass.Load ->
-      let addr = Option.get f.instr.Instr.mem in
+      let addr = Instr.mem_exn f.instr in
       let walk = translate t addr in
       let outcome = Hierarchy.access_data t.hierarchy addr in
       let cache_lat = Hierarchy.data_latency t.hierarchy outcome in
@@ -209,7 +209,7 @@ let issue_latency t (f : inflight) =
       (* Stores update the TLB and cache for residency but never
          block: a write buffer absorbs them (the paper models
          data-cache penalties through loads only). *)
-      let addr = Option.get f.instr.Instr.mem in
+      let addr = Instr.mem_exn f.instr in
       ignore (translate ~count:false t addr);
       ignore (Hierarchy.access_data t.hierarchy addr);
       lat
@@ -235,7 +235,7 @@ let issue t =
   let kept = ref 0 in
   for i = 0 to t.win_count - 1 do
     match t.window.(i) with
-    | None -> assert false
+    | None -> Fom_check.Checker.internal_error "window slot empty below win_count"
     | Some f ->
         if
           (unbounded || (!issued < width && t.cluster_issued.(f.cluster) < cluster_width))
@@ -293,7 +293,11 @@ let dispatch t =
       in
       (* The window-space guard ensures at least one cluster has
          room. *)
-      let cluster = Option.get (steer clusters) in
+      let cluster =
+        match steer clusters with
+        | Some c -> c
+        | None -> Fom_check.Checker.internal_error "no cluster has window space at dispatch"
+      in
       f.cluster <- cluster;
       t.cluster_counts.(cluster) <- t.cluster_counts.(cluster) + 1;
       t.window.(t.win_count) <- Some f;
@@ -361,7 +365,7 @@ let fetch t =
         Queue.push (f, t.cycle + t.config.Config.pipeline_depth) t.pipe;
         incr fetched;
         if Instr.is_branch instr then begin
-          let taken = (Option.get instr.Instr.ctrl).Instr.taken in
+          let taken = (Instr.ctrl_exn instr).Instr.taken in
           let correct = Predictor.observe t.predictor ~pc:instr.Instr.pc ~taken in
           if not correct then begin
             t.mispredictions <- t.mispredictions + 1;

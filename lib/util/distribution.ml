@@ -3,7 +3,8 @@ type t = { counts : (int, int) Hashtbl.t; mutable total : int }
 let create () = { counts = Hashtbl.create 16; total = 0 }
 
 let add_many t k n =
-  assert (k >= 0 && n >= 0);
+  Fom_check.Checker.ensure ~code:"FOM-U001" ~path:"distribution.add" (k >= 0 && n >= 0)
+    "outcomes and counts must be non-negative";
   if n > 0 then begin
     let cur = Option.value (Hashtbl.find_opt t.counts k) ~default:0 in
     Hashtbl.replace t.counts k (cur + n);

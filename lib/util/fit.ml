@@ -1,8 +1,10 @@
 type line = { slope : float; intercept : float; r2 : float }
 
+let ensure = Fom_check.Checker.ensure ~code:"FOM-U001"
+
 let line points =
   let n = Array.length points in
-  assert (n >= 2);
+  ensure ~path:"fit.line" (n >= 2) "a line fit needs at least two points";
   let xs = Array.map fst points and ys = Array.map snd points in
   let mx = Stats.mean xs and my = Stats.mean ys in
   let sxy = ref 0.0 and sxx = ref 0.0 and syy = ref 0.0 in
@@ -12,7 +14,7 @@ let line points =
       sxx := !sxx +. ((x -. mx) *. (x -. mx));
       syy := !syy +. ((y -. my) *. (y -. my)))
     points;
-  assert (!sxx > 0.0);
+  ensure ~path:"fit.line" (!sxx > 0.0) "x values must not all coincide";
   let slope = !sxy /. !sxx in
   let intercept = my -. (slope *. mx) in
   let r2 = if !syy = 0.0 then 1.0 else !sxy *. !sxy /. (!sxx *. !syy) in
@@ -23,7 +25,11 @@ type power_law = { alpha : float; beta : float; r2 : float }
 let log2 x = Float.log x /. Float.log 2.0
 
 let power_law points =
-  Array.iter (fun (x, y) -> assert (x > 0.0 && y > 0.0)) points;
+  Array.iter
+    (fun (x, y) ->
+      ensure ~path:"fit.power_law" (x > 0.0 && y > 0.0)
+        "points must be strictly positive to fit in log space")
+    points;
   let logged = Array.map (fun (x, y) -> (log2 x, log2 y)) points in
   let l = line logged in
   { alpha = Float.pow 2.0 l.intercept; beta = l.slope; r2 = l.r2 }

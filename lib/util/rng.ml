@@ -19,8 +19,10 @@ let split t =
 
 let copy t = { state = t.state }
 
+let ensure = Fom_check.Checker.ensure ~code:"FOM-U001"
+
 let int t n =
-  assert (n > 0);
+  ensure ~path:"rng.int" (n > 0) "bound must be positive";
   let bits = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) in
   bits mod n
 
@@ -33,7 +35,7 @@ let bool t = Int64.compare (Int64.logand (bits64 t) 1L) 0L <> 0
 let bernoulli t p = float t 1.0 < p
 
 let geometric t p =
-  assert (p > 0.0 && p <= 1.0);
+  ensure ~path:"rng.geometric" (p > 0.0 && p <= 1.0) "success probability must be within (0, 1]";
   if p >= 1.0 then 0
   else
     let u = float t 1.0 in
@@ -46,12 +48,12 @@ let exponential t mean =
   -.mean *. Float.log u
 
 let pick t a =
-  assert (Array.length a > 0);
+  ensure ~path:"rng.pick" (Array.length a > 0) "cannot pick from an empty array";
   a.(int t (Array.length a))
 
 let categorical t weights =
   let total = Array.fold_left ( +. ) 0.0 weights in
-  assert (total > 0.0);
+  ensure ~path:"rng.categorical" (total > 0.0) "weights must have a positive sum";
   let u = float t total in
   let rec loop i acc =
     if i >= Array.length weights - 1 then i

@@ -12,16 +12,18 @@ let variance a =
 
 let stddev a = sqrt (variance a)
 
+let ensure = Fom_check.Checker.ensure ~code:"FOM-U001"
+
 let min a =
-  assert (Array.length a > 0);
+  ensure ~path:"stats.min" (Array.length a > 0) "empty sample";
   Array.fold_left Stdlib.min a.(0) a
 
 let max a =
-  assert (Array.length a > 0);
+  ensure ~path:"stats.max" (Array.length a > 0) "empty sample";
   Array.fold_left Stdlib.max a.(0) a
 
 let percentile a p =
-  assert (Array.length a > 0);
+  ensure ~path:"stats.percentile" (Array.length a > 0) "empty sample";
   let sorted = Array.copy a in
   Array.sort compare sorted;
   let n = Array.length sorted in
@@ -47,7 +49,9 @@ let geometric_mean a =
     Float.exp (logsum /. float_of_int (Array.length a))
 
 let relative_errors reference candidate =
-  assert (Array.length reference = Array.length candidate);
+  ensure ~path:"stats.relative_errors"
+    (Array.length reference = Array.length candidate)
+    "reference and candidate must have the same length";
   let errs = ref [] in
   Array.iteri
     (fun i r ->

@@ -110,7 +110,10 @@ let test_load_rejects_garbage () =
       close_out oc;
       match Source.load ~path with
       | _ -> Alcotest.fail "accepted garbage"
-      | exception Failure _ -> ())
+      | exception Fom_check.Checker.Invalid [ d ] ->
+          Alcotest.(check string) "code" "FOM-T101" d.Fom_check.Diagnostic.code;
+          Alcotest.(check string) "path has line 1" (path ^ ":1")
+            d.Fom_check.Diagnostic.path)
 
 let test_load_rejects_bad_dependence () =
   let path = Filename.temp_file "fom" ".trace" in
@@ -122,7 +125,10 @@ let test_load_rejects_bad_dependence () =
       close_out oc;
       match Source.load ~path with
       | _ -> Alcotest.fail "accepted forward dependence"
-      | exception Failure _ -> ())
+      | exception Fom_check.Checker.Invalid [ d ] ->
+          Alcotest.(check string) "code" "FOM-T105" d.Fom_check.Diagnostic.code;
+          Alcotest.(check string) "path has line 2" (path ^ ":2")
+            d.Fom_check.Diagnostic.path)
 
 let suite =
   ( "source",

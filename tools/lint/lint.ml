@@ -1,0 +1,269 @@
+(* Source lint for the fom libraries.
+
+   Scans .ml files for constructs banned from library code and reports
+   them as FOM-L diagnostics:
+
+     FOM-L001  assert       input validation must go through Fom_check
+     FOM-L002  failwith     errors must be structured diagnostics
+     FOM-L003  exit         libraries must not terminate the process
+     FOM-L004  List.hd / List.tl / Option.get   partial stdlib calls
+     FOM-L005  .ml file without a corresponding .mli
+
+   An allowlist file grants sanctioned exceptions, one per line:
+
+     <relative-path> <construct>     # rationale
+
+   where <construct> is the banned token (e.g. [assert]). Unused
+   allowlist entries are reported as warnings so the list cannot rot.
+   Exit status is 1 if any non-allowlisted finding remains. *)
+
+let usage () =
+  prerr_endline "usage: lint --allowlist FILE DIR...";
+  exit 2
+
+type finding = { file : string; line : int; code : string; construct : string; text : string }
+
+(* --- comment / string stripping ------------------------------------- *)
+
+(* Replace comment and string-literal bodies with spaces so token
+   scanning never fires inside them; newlines are preserved, keeping
+   line numbers accurate. *)
+let strip src =
+  let n = String.length src in
+  let out = Bytes.of_string src in
+  let blank i = if Bytes.get out i <> '\n' then Bytes.set out i ' ' in
+  let i = ref 0 in
+  let comment_depth = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    if !comment_depth > 0 then begin
+      if c = '(' && !i + 1 < n && src.[!i + 1] = '*' then begin
+        incr comment_depth;
+        blank !i;
+        blank (!i + 1);
+        i := !i + 2
+      end
+      else if c = '*' && !i + 1 < n && src.[!i + 1] = ')' then begin
+        decr comment_depth;
+        blank !i;
+        blank (!i + 1);
+        i := !i + 2
+      end
+      else begin
+        blank !i;
+        incr i
+      end
+    end
+    else if c = '(' && !i + 1 < n && src.[!i + 1] = '*' then begin
+      comment_depth := 1;
+      blank !i;
+      blank (!i + 1);
+      i := !i + 2
+    end
+    else if c = '"' then begin
+      (* String literal: skip to the unescaped closing quote. *)
+      blank !i;
+      incr i;
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        (match src.[!i] with
+        | '\\' when !i + 1 < n ->
+            blank !i;
+            blank (!i + 1);
+            i := !i + 1
+        | '"' -> closed := true
+        | _ -> blank !i);
+        incr i
+      done
+    end
+    else if c = '\'' && !i + 2 < n && (src.[!i + 1] = '\\' || src.[!i + 2] = '\'') then begin
+      (* Character literal (covers '"' and '\\'' which would otherwise
+         derail string stripping); type variables like 'a have no
+         closing quote and fall through untouched. *)
+      let j = if src.[!i + 1] = '\\' then !i + 3 else !i + 2 in
+      let j = Stdlib.min j (n - 1) in
+      for k = !i to j do
+        blank k
+      done;
+      i := j + 1
+    end
+    else incr i
+  done;
+  Bytes.to_string out
+
+(* --- token scan ------------------------------------------------------ *)
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_' || c = '\''
+
+(* [find_token line tok] finds [tok] in [line] at identifier
+   boundaries; a leading '.' also disqualifies (a module-qualified name
+   like [X.exit] is that module's function, not Stdlib's). *)
+let has_bare_token line tok =
+  let n = String.length line and m = String.length tok in
+  let rec search from =
+    if from + m > n then false
+    else
+      match String.index_from_opt line from tok.[0] with
+      | None -> false
+      | Some k ->
+          if
+            k + m <= n
+            && String.sub line k m = tok
+            && (k = 0 || (not (is_ident_char line.[k - 1])) && line.[k - 1] <> '.')
+            && (k + m = n || not (is_ident_char line.[k + m]))
+          then true
+          else search (k + 1)
+  in
+  search 0
+
+(* Qualified calls keep their dot: [Option.get] must match exactly,
+   but not [My_option.get]. *)
+let has_qualified line tok =
+  let n = String.length line and m = String.length tok in
+  let rec search from =
+    if from + m > n then false
+    else
+      match String.index_from_opt line from tok.[0] with
+      | None -> false
+      | Some k ->
+          if
+            k + m <= n
+            && String.sub line k m = tok
+            && (k = 0 || not (is_ident_char line.[k - 1] || line.[k - 1] = '.'))
+            && (k + m = n || not (is_ident_char line.[k + m]))
+          then true
+          else search (k + 1)
+  in
+  search 0
+
+let bare_bans = [ ("assert", "FOM-L001"); ("failwith", "FOM-L002"); ("exit", "FOM-L003") ]
+let qualified_bans = [ "List.hd"; "List.tl"; "Option.get" ]
+
+let scan_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let src = really_input_string ic len in
+  close_in ic;
+  let stripped = strip src in
+  let raw_lines = Array.of_list (String.split_on_char '\n' src) in
+  let findings = ref [] in
+  List.iteri
+    (fun idx line ->
+      let lineno = idx + 1 in
+      let text = raw_lines.(idx) in
+      List.iter
+        (fun (tok, code) ->
+          if has_bare_token line tok then
+            findings := { file = path; line = lineno; code; construct = tok; text } :: !findings)
+        bare_bans;
+      List.iter
+        (fun tok ->
+          if has_qualified line tok then
+            findings :=
+              { file = path; line = lineno; code = "FOM-L004"; construct = tok; text }
+              :: !findings)
+        qualified_bans)
+    (String.split_on_char '\n' stripped);
+  List.rev !findings
+
+(* --- filesystem walk ------------------------------------------------- *)
+
+let rec walk dir acc =
+  Array.fold_left
+    (fun acc entry ->
+      let path = Filename.concat dir entry in
+      if Sys.is_directory path then walk path acc
+      else if Filename.check_suffix entry ".ml" then path :: acc
+      else acc)
+    acc
+    (let entries = Sys.readdir dir in
+     Array.sort compare entries;
+     entries)
+
+(* --- allowlist ------------------------------------------------------- *)
+
+let load_allowlist path =
+  let ic = open_in path in
+  let entries = ref [] in
+  (try
+     while true do
+       let line = input_line ic in
+       let line =
+         match String.index_opt line '#' with
+         | Some k -> String.sub line 0 k
+         | None -> line
+       in
+       match
+         String.split_on_char ' ' (String.trim line) |> List.filter (fun s -> s <> "")
+       with
+       | [] -> ()
+       | [ file; construct ] -> entries := (file, construct) :: !entries
+       | _ ->
+           Printf.eprintf "lint: malformed allowlist line %S in %s\n" line path;
+           exit 2
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.rev !entries
+
+(* --- main ------------------------------------------------------------ *)
+
+let () =
+  let allowlist_path = ref None in
+  let roots = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--allowlist" :: file :: rest ->
+        allowlist_path := Some file;
+        parse rest
+    | "--allowlist" :: [] -> usage ()
+    | dir :: rest ->
+        roots := dir :: !roots;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  if !roots = [] then usage ();
+  let allowlist = match !allowlist_path with Some p -> load_allowlist p | None -> [] in
+  let used = Array.make (List.length allowlist) false in
+  let allowed file construct =
+    let rec find k = function
+      | [] -> false
+      | (f, c) :: rest ->
+          if f = file && c = construct then begin
+            used.(k) <- true;
+            true
+          end
+          else find (k + 1) rest
+    in
+    find 0 allowlist
+  in
+  let files = List.concat_map (fun root -> List.sort compare (walk root [])) (List.rev !roots) in
+  let errors = ref 0 in
+  List.iter
+    (fun file ->
+      if not (Sys.file_exists (file ^ "i")) then
+        if allowed file "missing-mli" then ()
+        else begin
+          Printf.printf "error[FOM-L005] %s: no corresponding .mli interface\n" file;
+          incr errors
+        end;
+      List.iter
+        (fun f ->
+          if not (allowed f.file f.construct) then begin
+            Printf.printf "error[%s] %s:%d: banned construct %s\n  %s\n" f.code f.file f.line
+              f.construct (String.trim f.text);
+            incr errors
+          end)
+        (scan_file file))
+    files;
+  List.iteri
+    (fun k (file, construct) ->
+      if not used.(k) then
+        Printf.printf "warning[FOM-L000] allowlist entry unused: %s %s\n" file construct)
+    allowlist;
+  if !errors > 0 then begin
+    Printf.printf "%d lint error%s\n" !errors (if !errors = 1 then "" else "s");
+    exit 1
+  end
+  else print_endline "lint: clean"
