@@ -1,26 +1,35 @@
 (* Shared state for the experiment harness: workload programs, scale
-   settings, and memoized simulation/characterization results so that
-   exhibits sharing a configuration (e.g. the all-ideal baseline) pay
-   for it once. *)
+   settings, the domain pool, and memoized simulation/characterization
+   results so that exhibits sharing a configuration (e.g. the
+   all-ideal baseline) pay for it once.
+
+   The memo tables are guarded by a mutex so exhibits can warm them
+   from pool tasks ([warm_sims] / [warm_characterizations]); values
+   are computed outside the lock (a racing duplicate computation is
+   deterministic, so whichever result lands first is the one kept). *)
 
 module Config = Fom_uarch.Config
 module Stats = Fom_uarch.Stats
 module Hierarchy = Fom_cache.Hierarchy
 module Predictor = Fom_branch.Predictor
 module Params = Fom_model.Params
+module Pool = Fom_exec.Pool
 
 type t = {
   n_sim : int;  (** instructions per detailed simulation *)
   n_profile : int;  (** instructions per functional profile *)
   n_iw : int;  (** instructions per IW-curve point *)
   csv_dir : string option;  (** where to mirror tables as CSV files *)
+  pool : Pool.t;  (** worker domains shared by every exhibit *)
   programs : (string * Fom_trace.Program.t) list;
+  lock : Mutex.t;
   sims : (string, Stats.t) Hashtbl.t;
   inputs : (string, Fom_analysis.Iw_curve.t * Fom_analysis.Profile.t * Fom_model.Inputs.t) Hashtbl.t;
 }
 
-let create ?csv_dir ~scale () =
-  assert (scale > 0.0);
+let create ?csv_dir ?jobs ~scale () =
+  Fom_check.Checker.ensure ~code:"FOM-I030" ~path:"bench.scale" (scale > 0.0)
+    "scale factor must be positive";
   (match csv_dir with
   | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
   | Some _ | None -> ());
@@ -30,13 +39,19 @@ let create ?csv_dir ~scale () =
     n_profile = s 200_000;
     n_iw = s 30_000;
     csv_dir;
+    pool = Pool.create ?jobs ();
     programs =
       List.map
         (fun config -> (config.Fom_trace.Config.name, Fom_trace.Program.generate config))
         Fom_workloads.Spec2000.all;
+    lock = Mutex.create ();
     sims = Hashtbl.create 64;
     inputs = Hashtbl.create 16;
   }
+
+let shutdown t = Pool.shutdown t.pool
+let pool t = t.pool
+let jobs t = Pool.jobs t.pool
 
 let names t = List.map fst t.programs
 let program t name = List.assoc name t.programs
@@ -49,14 +64,31 @@ let icache_only = Config.with_cache Hierarchy.ideal_except_l1i ideal
 let dcache_only = Config.with_cache Hierarchy.ideal_except_data ideal
 let fig14_machine = Config.with_cache Hierarchy.fig14 ideal
 
+(* Double-checked memoization: look up under the lock, compute outside
+   it, and keep whichever value was inserted first. *)
+let memo t tbl key compute =
+  Mutex.lock t.lock;
+  match Hashtbl.find_opt tbl key with
+  | Some v ->
+      Mutex.unlock t.lock;
+      v
+  | None ->
+      Mutex.unlock t.lock;
+      let v = compute () in
+      Mutex.lock t.lock;
+      let kept =
+        match Hashtbl.find_opt tbl key with
+        | Some winner -> winner
+        | None ->
+            Hashtbl.add tbl key v;
+            v
+      in
+      Mutex.unlock t.lock;
+      kept
+
 let sim t ~variant ~config name =
   let key = Printf.sprintf "%s/%s/%d" variant name t.n_sim in
-  match Hashtbl.find_opt t.sims key with
-  | Some stats -> stats
-  | None ->
-      let stats = Fom_uarch.Simulate.run config (program t name) ~n:t.n_sim in
-      Hashtbl.add t.sims key stats;
-      stats
+  memo t t.sims key (fun () -> Fom_uarch.Simulate.run config (program t name) ~n:t.n_sim)
 
 let characterization ?(grouping = Fom_analysis.Profile.Dependence_aware) t name =
   let key =
@@ -65,15 +97,24 @@ let characterization ?(grouping = Fom_analysis.Profile.Dependence_aware) t name 
       | Fom_analysis.Profile.Dependence_aware -> "aware"
       | Fom_analysis.Profile.Paper_naive -> "naive")
   in
-  match Hashtbl.find_opt t.inputs key with
-  | Some result -> result
-  | None ->
-      let result =
-        Fom_analysis.Characterize.curve_and_inputs ~iw_instructions:t.n_iw ~grouping
-          ~params:Params.baseline (program t name) ~n:t.n_profile
-      in
-      Hashtbl.add t.inputs key result;
-      result
+  memo t t.inputs key (fun () ->
+      (* The pool is passed down so the IW-curve points parallelize
+         across windows as well as benchmarks; nested maps are safe
+         because a waiting caller helps drain the shared queue. *)
+      Fom_analysis.Characterize.curve_and_inputs ~pool:t.pool ~iw_instructions:t.n_iw
+        ~grouping ~params:Params.baseline (program t name) ~n:t.n_profile)
+
+(* Run independent thunks on the pool; exhibits use this to warm the
+   memo caches in parallel before printing rows in their fixed
+   sequential order. *)
+let parallel t thunks = ignore (Pool.map t.pool ~f:(fun thunk -> thunk ()) thunks)
+
+let warm_sims t specs =
+  parallel t
+    (List.map (fun (variant, config, name) () -> ignore (sim t ~variant ~config name)) specs)
+
+let warm_characterizations ?grouping t names =
+  parallel t (List.map (fun name () -> ignore (characterization ?grouping t name)) names)
 
 let heading title = print_string (Fom_util.Table.heading title)
 

@@ -15,6 +15,17 @@ module Inputs = Fom_model.Inputs
    machine, and compensating branch/I-miss events that overlap a long
    D-miss improves it slightly. *)
 let fig2 ctx =
+  Context.warm_sims ctx
+    (List.concat_map
+       (fun name ->
+         [
+           ("ideal", Context.ideal, name);
+           ("real", Context.real, name);
+           ("bp-only", Context.bp_only, name);
+           ("ic-only", Context.icache_only, name);
+           ("dc-only", Context.dcache_only, name);
+         ])
+       (Context.names ctx));
   Context.heading "Figure 2: independence of miss-event penalties (IPC)";
   let header = [ "benchmark"; "combined"; "independent"; "err%"; "compensated"; "err%" ] in
   let ind_errs = ref [] and comp_errs = ref [] in
@@ -76,6 +87,25 @@ let fig2 ctx =
    9-stage front ends. The paper: typically 6.4 to 10 cycles at depth
    5 (vpr 14.7) — more than the pipeline depth. *)
 let fig9 ctx =
+  Context.parallel ctx
+    (List.concat_map
+       (fun name ->
+         (fun () -> ignore (Context.characterization ctx name))
+         :: List.concat_map
+              (fun depth ->
+                let variant tag = Printf.sprintf "%s-d%d" tag depth in
+                [
+                  (fun () ->
+                    ignore
+                      (Context.sim ctx ~variant:(variant "bp-only")
+                         ~config:(Config.with_depth depth Context.bp_only) name));
+                  (fun () ->
+                    ignore
+                      (Context.sim ctx ~variant:(variant "ideal")
+                         ~config:(Config.with_depth depth Context.ideal) name));
+                ])
+              [ 5; 9 ])
+       (Context.names ctx));
   Context.heading "Figure 9: penalty per branch misprediction, 5 vs 9 front-end stages";
   let penalty name depth =
     let bp = Config.with_depth depth Context.bp_only in
@@ -112,6 +142,24 @@ let fig9 ctx =
 (* Figure 11: the I-cache miss penalty is about the fill delay and
    independent of the front-end depth. *)
 let fig11 ctx =
+  Context.parallel ctx
+    (List.concat_map
+       (fun name ->
+         List.concat_map
+           (fun depth ->
+             let variant tag = Printf.sprintf "%s-d%d" tag depth in
+             [
+               (fun () ->
+                 ignore
+                   (Context.sim ctx ~variant:(variant "ic-only")
+                      ~config:(Config.with_depth depth Context.icache_only) name));
+               (fun () ->
+                 ignore
+                   (Context.sim ctx ~variant:(variant "ideal")
+                      ~config:(Config.with_depth depth Context.ideal) name));
+             ])
+           [ 5; 9 ])
+       (Context.names ctx));
   Context.heading "Figure 11: penalty per L1 I-cache miss, 5 vs 9 front-end stages (delay 8)";
   let penalty name depth =
     let ic = Config.with_depth depth Context.icache_only in
@@ -146,9 +194,14 @@ let fig11 ctx =
 let fig14 ctx =
   Context.heading "Figure 14: penalty per long D-cache miss, simulation vs model (eq. 8)";
   let params = { Params.baseline with Params.long_delay = 200 } in
+  (* Each benchmark's row needs two sims plus a fresh characterization
+     against the Figure 14 hierarchy — all independent, so the rows
+     are computed as one parallel batch (order preserved by the pool)
+     and only printed sequentially. *)
   let rows =
-    List.filter_map
-      (fun name ->
+    List.filter_map Fun.id
+      (Fom_exec.Pool.map (Context.pool ctx)
+         ~f:(fun name ->
         let faulty = Context.sim ctx ~variant:"fig14" ~config:Context.fig14_machine name in
         let base = Context.sim ctx ~variant:"ideal" ~config:Context.ideal name in
         let events = faulty.Stats.long_data_misses in
@@ -177,7 +230,7 @@ let fig14 ctx =
               Table.float_cell ~decimals:1 paper_model;
               Table.float_cell ~decimals:2 factor;
             ])
-      (Context.names ctx)
+         (Context.names ctx))
   in
   Context.table ctx ~name:"fig14"
     ~header:[ "benchmark"; "simulation"; "model"; "model (paper eq.8)"; "group factor" ]

@@ -13,6 +13,7 @@ let log2 x = Float.log x /. Float.log 2.0
    (1.7 / 0.3 / 2.2); all twelve are printed, the paper's three
    first. *)
 let table1 ctx =
+  Context.warm_characterizations ctx (Context.names ctx);
   Context.heading "Table 1: Power-law parameters (alpha, beta) and average latency";
   Context.note
     "Paper values for its SPECint binaries: gzip 1.3/0.5/1.5, vortex 1.2/0.7/1.6, vpr 1.7/0.3/2.2.";
@@ -38,6 +39,7 @@ let table1 ctx =
 (* Figure 4: log-log IW curves for all benchmarks, unit latency,
    unbounded issue. *)
 let fig4 ctx =
+  Context.warm_characterizations ctx (Context.names ctx);
   Context.heading "Figure 4: IW curves, log2(issue rate) vs log2(window), unit latency";
   let curves = List.map (fun name -> (name, let c, _, _ = Context.characterization ctx name in c)) (Context.names ctx) in
   let windows = Iw_curve.default_windows in
@@ -58,6 +60,7 @@ let fig4 ctx =
 (* Figure 5: the linear fits on log-log axes for the paper's three
    illustrative benchmarks, measured points next to the fit line. *)
 let fig5 ctx =
+  Context.warm_characterizations ctx [ "gzip"; "vortex"; "vpr" ];
   Context.heading "Figure 5: linear IW fits for gzip, vortex, vpr (log2 scale)";
   List.iter
     (fun name ->
@@ -86,14 +89,20 @@ let fig6 ctx =
   let windows = Iw_curve.default_windows in
   let limits = [ None; Some 8; Some 4; Some 2 ] in
   let label = function None -> "unlimited" | Some k -> Printf.sprintf "width %d" k in
+  (* All limit x window points are independent idealized simulations:
+     one pool task each, results folded back in deterministic order. *)
+  let tasks = List.concat_map (fun l -> List.map (fun w -> (l, w)) windows) limits in
+  let ipcs =
+    Fom_exec.Pool.map (Context.pool ctx)
+      ~f:(fun (issue_limit, window) ->
+        Fom_analysis.Iw_sim.ipc ?issue_limit program ~window ~n:ctx.Context.n_iw)
+      tasks
+  in
+  let per_limit = List.length windows in
   let curves =
-    List.map
-      (fun issue_limit ->
-        ( label issue_limit,
-          List.map
-            (fun window ->
-              Fom_analysis.Iw_sim.ipc ?issue_limit program ~window ~n:ctx.Context.n_iw)
-            windows ))
+    List.mapi
+      (fun i issue_limit ->
+        (label issue_limit, List.filteri (fun k _ -> k / per_limit = i) ipcs))
       limits
   in
   let header = "window" :: List.map fst curves in

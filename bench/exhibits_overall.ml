@@ -8,6 +8,16 @@ module Cpi = Fom_model.Cpi
 (* Figure 15: model CPI vs detailed simulation on the baseline
    machine. Paper: 5.8% average error, 13% worst case. *)
 let fig15 ctx =
+  (* Sims and characterizations for every benchmark are independent;
+     warm both caches in one parallel batch before the rows print. *)
+  Context.parallel ctx
+    (List.concat_map
+       (fun name ->
+         [
+           (fun () -> ignore (Context.sim ctx ~variant:"real" ~config:Context.real name));
+           (fun () -> ignore (Context.characterization ctx name));
+         ])
+       (Context.names ctx));
   Context.heading "Figure 15: first-order model vs detailed simulation (CPI)";
   let errs = ref [] and paper_errs = ref [] in
   let rows =
@@ -47,6 +57,7 @@ let fig15 ctx =
 
 (* Figure 16: the stacked CPI decomposition. *)
 let fig16 ctx =
+  Context.warm_characterizations ctx (Context.names ctx);
   Context.heading "Figure 16: CPI stack (model components)";
   let header = [ "benchmark"; "ideal"; "L1 I$"; "L2 I$"; "L2 D$"; "branch"; "total" ] in
   let rows =

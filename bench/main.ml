@@ -4,7 +4,16 @@
    Bechamel timing suite.
 
    Usage: dune exec bench/main.exe -- [--quick] [--scale X]
-          [--only table1,fig15,...] [--list] [--no-timing] *)
+          [--only table1,fig15,...] [--list] [--no-timing]
+          [--jobs N] [--json PATH] [--git-rev REV] [--csv DIR]
+
+   Exhibits run on a shared Fom_exec.Pool domain pool (--jobs, default
+   FOM_JOBS or the machine's core count); --jobs 1 reproduces the
+   sequential harness byte-for-byte. --json records the machine-
+   readable timing baseline (schema fom-bench/1, see README); when the
+   pool has more than one worker the harness replays the selected
+   exhibits once more on a single worker — quietly, against fresh
+   caches — so the file carries measured speedups, not estimates. *)
 
 let exhibits : (string * string * (Context.t -> unit)) list =
   [
@@ -34,17 +43,31 @@ let exhibits : (string * string * (Context.t -> unit)) list =
     ("ablation-little", "Little's-law accuracy", Exhibits_ablation.littles_law);
   ]
 
+let exhibit_names = List.map (fun (name, _, _) -> name) exhibits
+
 type options = {
   mutable scale : float;
   mutable only : string list option;
   mutable list_only : bool;
   mutable timing : bool;
   mutable csv_dir : string option;
+  mutable jobs : int option;
+  mutable json : string option;
+  mutable git_rev : string;
 }
 
 let parse_args () =
   let options =
-    { scale = 1.0; only = None; list_only = false; timing = true; csv_dir = None }
+    {
+      scale = 1.0;
+      only = None;
+      list_only = false;
+      timing = true;
+      csv_dir = None;
+      jobs = None;
+      json = None;
+      git_rev = Option.value (Sys.getenv_opt "FOM_GIT_REV") ~default:"unknown";
+    }
   in
   let split s = String.split_on_char ',' s |> List.map String.trim in
   let spec =
@@ -59,12 +82,80 @@ let parse_args () =
       ( "--csv",
         Arg.String (fun dir -> options.csv_dir <- Some dir),
         "DIR also write each exhibit's tables as CSV files" );
+      ( "--jobs",
+        Arg.Int (fun j -> options.jobs <- Some j),
+        "N worker domains (default: FOM_JOBS or the core count); 1 = sequential" );
+      ( "--json",
+        Arg.String (fun path -> options.json <- Some path),
+        "PATH write the machine-readable timing baseline (schema fom-bench/1)" );
+      ( "--git-rev",
+        Arg.String (fun rev -> options.git_rev <- rev),
+        "REV revision recorded in the JSON baseline (default: $FOM_GIT_REV or \"unknown\")" );
     ]
   in
   Arg.parse (Arg.align spec)
     (fun anon -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" anon)))
     "fom reproduction harness";
   options
+
+(* Run [f] with stdout redirected to /dev/null — the JSON baseline's
+   sequential replay re-prints every exhibit, and only the wall times
+   are wanted. *)
+let quietly f =
+  flush stdout;
+  let saved = Unix.dup Unix.stdout in
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  Unix.dup2 devnull Unix.stdout;
+  Fun.protect
+    ~finally:(fun () ->
+      flush stdout;
+      Unix.dup2 saved Unix.stdout;
+      Unix.close saved;
+      Unix.close devnull)
+    f
+
+(* Run the selected exhibits against a fresh context, returning
+   (name, wall seconds) per exhibit. Fresh caches per pass keep timing
+   comparisons honest: nothing is reused across passes. *)
+let run_pass ~jobs ~csv_dir ~scale selected =
+  let ctx = Context.create ?csv_dir ~jobs ~scale () in
+  Fun.protect
+    ~finally:(fun () -> Context.shutdown ctx)
+    (fun () ->
+      List.map
+        (fun (name, _, run) ->
+          let t0 = Unix.gettimeofday () in
+          run ctx;
+          let dt = Unix.gettimeofday () -. t0 in
+          Printf.printf "[%s done in %.1fs]\n%!" name dt;
+          (name, dt))
+        selected)
+
+let json_report ~options ~jobs ~timed ~sequential ~total_seconds =
+  let module J = Fom_util.Json in
+  let exhibit (name, seconds) =
+    let base =
+      [ ("name", J.String name); ("seconds", J.Float seconds) ]
+    in
+    let speedup =
+      match List.assoc_opt name sequential with
+      | Some seq when seconds > 0.0 ->
+          [ ("seconds_jobs1", J.Float seq); ("speedup_vs_jobs1", J.Float (seq /. seconds)) ]
+      | Some seq -> [ ("seconds_jobs1", J.Float seq) ]
+      | None -> []
+    in
+    J.Obj (base @ speedup)
+  in
+  J.Obj
+    [
+      ("schema", J.String "fom-bench/1");
+      ("git_rev", J.String options.git_rev);
+      ("scale", J.Float options.scale);
+      ("jobs", J.Int jobs);
+      ("recommended_domains", J.Int (Domain.recommended_domain_count ()));
+      ("exhibits", J.List (List.map exhibit timed));
+      ("total_seconds", J.Float total_seconds);
+    ]
 
 let () =
   let options = parse_args () in
@@ -77,24 +168,33 @@ let () =
       | Some names ->
           List.iter
             (fun n ->
-              if not (List.exists (fun (name, _, _) -> name = n) exhibits) then begin
-                Printf.eprintf "unknown exhibit %S (try --list)\n" n;
+              if not (List.mem n exhibit_names) then begin
+                Printf.eprintf "unknown exhibit %S; valid names are: %s\n" n
+                  (String.concat ", " exhibit_names);
                 exit 2
               end)
             names;
           List.filter (fun (name, _, _) -> List.mem name names) exhibits
     in
+    let jobs = match options.jobs with Some j -> j | None -> Fom_exec.Pool.default_jobs () in
     Printf.printf
-      "First-order superscalar model reproduction harness (scale %.2f, %d exhibits)\n"
-      options.scale (List.length selected);
-    let ctx = Context.create ?csv_dir:options.csv_dir ~scale:options.scale () in
+      "First-order superscalar model reproduction harness (scale %.2f, %d exhibits, %d jobs)\n"
+      options.scale (List.length selected) jobs;
     let started = Unix.gettimeofday () in
-    List.iter
-      (fun (name, _, run) ->
-        let t0 = Unix.gettimeofday () in
-        run ctx;
-        Printf.printf "[%s done in %.1fs]\n%!" name (Unix.gettimeofday () -. t0))
-      selected;
+    let timed = run_pass ~jobs ~csv_dir:options.csv_dir ~scale:options.scale selected in
     if options.timing then Timing.run ();
-    Printf.printf "\nTotal harness time: %.1fs\n" (Unix.gettimeofday () -. started)
+    let total = Unix.gettimeofday () -. started in
+    (match options.json with
+    | None -> ()
+    | Some path ->
+        let sequential =
+          if jobs > 1 then
+            quietly (fun () ->
+                run_pass ~jobs:1 ~csv_dir:None ~scale:options.scale selected)
+          else []
+        in
+        Fom_util.Json.write_file ~path
+          (json_report ~options ~jobs ~timed ~sequential ~total_seconds:total);
+        Printf.printf "wrote timing baseline to %s\n" path);
+    Printf.printf "\nTotal harness time: %.1fs\n" total
   end

@@ -47,6 +47,13 @@ let make_tests () =
             for _ = 1 to 1000 do
               ignore (Fom_trace.Stream.next stream)
             done));
+    (* Pool overhead: scheduling 64 no-op tasks bounds what the domain
+       pool charges on top of the useful work it distributes. *)
+    Test.make ~name:"exec pool map (64 no-op tasks)"
+      (Staged.stage
+         (let pool = Fom_exec.Pool.create () in
+          let tasks = List.init 64 (fun i -> i) in
+          fun () -> ignore (Fom_exec.Pool.map pool ~f:(fun x -> x) tasks)));
   ]
 
 let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]

@@ -304,7 +304,17 @@ let check_cmd =
             "Also characterize each workload (IW fit + profile) and validate the derived \
              model inputs.")
   in
-  let run width depth window rob workload deep n =
+  let jobs_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains for the deep sweep (default: $(b,FOM_JOBS) or the machine's \
+             core count). The sweep is deterministic: $(b,--jobs 1) reports exactly what a \
+             parallel run reports.")
+  in
+  let run width depth window rob workload deep n jobs seed =
     let module C = Fom_check.Checker in
     let module D = Fom_check.Diagnostic in
     let params = params_of width depth window rob in
@@ -316,21 +326,38 @@ let check_cmd =
             ~path:(prefix ^ "." ^ d.D.path)
             d.D.message)
     in
-    let deep_diags config =
+    (* With --seed, each workload characterizes under its own derived
+       seed: the root generator is split into per-task seeds *before*
+       the parallel fan-out, so the report is independent of worker
+       count and scheduling order. *)
+    let task_seeds =
+      Option.map
+        (fun root ->
+          Fom_util.Rng.split_seeds (Fom_util.Rng.create root) (List.length workloads))
+        seed
+    in
+    let deep_diags (index, config) =
       let prefix = "workload." ^ config.Fom_trace.Config.name in
       match
-        let program = program_of config None in
+        let program = program_of config (Option.map (fun a -> a.(index)) task_seeds) in
         Fom_analysis.Characterize.inputs ~params program ~n
       with
       | inputs -> reroot prefix (Fom_model.Inputs.check inputs)
       | exception C.Invalid ds -> reroot prefix ds
+    in
+    let deep_results =
+      if not deep then []
+      else
+        Fom_exec.Pool.with_pool ?jobs (fun pool ->
+            Fom_exec.Pool.map pool ~f:deep_diags
+              (List.mapi (fun index config -> (index, config)) workloads))
     in
     let diags =
       C.all
         (Fom_model.Params.check params
         :: Fom_uarch.Config.check machine
         :: List.map Fom_trace.Config.check workloads
-        @ (if deep then List.map deep_diags workloads else []))
+        @ deep_results)
     in
     Format.printf "%a@." C.pp_report diags;
     if C.has_errors diags then exit 1
@@ -338,7 +365,7 @@ let check_cmd =
   let term =
     Term.(
       const run $ width_arg $ depth_arg $ window_arg $ rob_arg $ workload_opt $ deep_flag
-      $ instructions_arg 20_000)
+      $ instructions_arg 20_000 $ jobs_arg $ seed_arg)
   in
   Cmd.v
     (Cmd.info "check"

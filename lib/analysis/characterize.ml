@@ -1,9 +1,9 @@
 module Inputs = Fom_model.Inputs
 module Params = Fom_model.Params
 
-let curve_and_inputs_of_source ?windows ?iw_instructions ?cache ?predictor ?latencies ?grouping
-    ?dtlb ~(params : Params.t) source ~n =
-  let curve = Iw_curve.measure_source ?windows ?n:iw_instructions source in
+let curve_and_inputs_of_source ?pool ?windows ?iw_instructions ?cache ?predictor ?latencies
+    ?grouping ?dtlb ~(params : Params.t) source ~n =
+  let curve = Iw_curve.measure_source ?pool ?windows ?n:iw_instructions source in
   let profile =
     Profile.run_source ?cache ?predictor ?latencies ?grouping ?dtlb
       ~burst_window:params.Params.window_size ~group_window:params.Params.rob_size source ~n
@@ -31,25 +31,25 @@ let curve_and_inputs_of_source ?windows ?iw_instructions ?cache ?predictor ?late
   in
   (curve, profile, inputs)
 
-let curve_and_inputs ?windows ?iw_instructions ?cache ?predictor ?latencies ?grouping ?dtlb
-    ~params program ~n =
-  curve_and_inputs_of_source ?windows ?iw_instructions ?cache ?predictor ?latencies ?grouping
-    ?dtlb ~params
+let curve_and_inputs ?pool ?windows ?iw_instructions ?cache ?predictor ?latencies ?grouping
+    ?dtlb ~params program ~n =
+  curve_and_inputs_of_source ?pool ?windows ?iw_instructions ?cache ?predictor ?latencies
+    ?grouping ?dtlb ~params
     (Fom_trace.Source.of_program program)
     ~n
 
-let inputs ?windows ?iw_instructions ?cache ?predictor ?latencies ?grouping ?dtlb ~params
-    program ~n =
+let inputs ?pool ?windows ?iw_instructions ?cache ?predictor ?latencies ?grouping ?dtlb
+    ~params program ~n =
   let _, _, result =
-    curve_and_inputs ?windows ?iw_instructions ?cache ?predictor ?latencies ?grouping ?dtlb
-      ~params program ~n
+    curve_and_inputs ?pool ?windows ?iw_instructions ?cache ?predictor ?latencies ?grouping
+      ?dtlb ~params program ~n
   in
   result
 
-let inputs_of_source ?windows ?iw_instructions ?cache ?predictor ?latencies ?grouping ?dtlb
-    ~params source ~n =
+let inputs_of_source ?pool ?windows ?iw_instructions ?cache ?predictor ?latencies ?grouping
+    ?dtlb ~params source ~n =
   let _, _, result =
-    curve_and_inputs_of_source ?windows ?iw_instructions ?cache ?predictor ?latencies ?grouping
-      ?dtlb ~params source ~n
+    curve_and_inputs_of_source ?pool ?windows ?iw_instructions ?cache ?predictor ?latencies
+      ?grouping ?dtlb ~params source ~n
   in
   result

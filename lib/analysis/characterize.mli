@@ -7,6 +7,7 @@
     machine's ROB size. No detailed simulation is involved. *)
 
 val inputs :
+  ?pool:Fom_exec.Pool.t ->
   ?windows:int list -> ?iw_instructions:int ->
   ?cache:Fom_cache.Hierarchy.config ->
   ?predictor:Fom_branch.Predictor.spec ->
@@ -19,9 +20,12 @@ val inputs :
     the IW curve (default windows and 30k instructions per point).
     [params] supplies the burst window (issue window size) and the
     group window (ROB size). Cache, predictor and latencies default to
-    the paper's baseline. *)
+    the paper's baseline. [?pool] parallelizes the IW-curve points
+    (see {!Iw_curve.measure}); results are bit-identical to the
+    sequential path. *)
 
 val inputs_of_source :
+  ?pool:Fom_exec.Pool.t ->
   ?windows:int list -> ?iw_instructions:int ->
   ?cache:Fom_cache.Hierarchy.config ->
   ?predictor:Fom_branch.Predictor.spec ->
@@ -35,6 +39,7 @@ val inputs_of_source :
     synthetic generation. *)
 
 val curve_and_inputs :
+  ?pool:Fom_exec.Pool.t ->
   ?windows:int list -> ?iw_instructions:int ->
   ?cache:Fom_cache.Hierarchy.config ->
   ?predictor:Fom_branch.Predictor.spec ->
@@ -47,6 +52,7 @@ val curve_and_inputs :
     harnesses that print them (Table 1, Figures 4–5). *)
 
 val curve_and_inputs_of_source :
+  ?pool:Fom_exec.Pool.t ->
   ?windows:int list -> ?iw_instructions:int ->
   ?cache:Fom_cache.Hierarchy.config ->
   ?predictor:Fom_branch.Predictor.spec ->

@@ -4,14 +4,34 @@ type t = { points : point list; fit : Fom_util.Fit.power_law }
 
 let default_windows = [ 4; 8; 16; 32; 64; 128; 256 ]
 
-let measure_source ?(windows = default_windows) ?(n = 30_000) ?latencies ?issue_limit source =
+let measure_source ?pool ?(windows = default_windows) ?(n = 30_000) ?latencies ?issue_limit
+    source =
   Fom_check.Checker.ensure ~code:"FOM-I030" ~path:"iw_curve.windows" (windows <> [])
     "at least one window size is required";
+  let windows = List.sort_uniq compare windows in
+  let point source window =
+    { window; ipc = Iw_sim.ipc_of_source ?latencies ?issue_limit source ~window ~n }
+  in
   let points =
-    List.map
-      (fun window ->
-        { window; ipc = Iw_sim.ipc_of_source ?latencies ?issue_limit source ~window ~n })
-      (List.sort_uniq compare windows)
+    match pool with
+    | Some pool when Fom_exec.Pool.jobs pool > 1 ->
+        (* One window per task. Each sequential measurement replays the
+           source from scratch anyway (one fresh pass per window), so
+           parallel tasks replaying a materialized copy of that same
+           trace see bit-identical instructions; materializing once
+           also makes the sweep safe for sources whose factories are
+           not reentrant (e.g. user [of_factory] thunks). The
+           simulator fetches up to a window beyond the [n] it issues,
+           so the recording carries two max-windows of margin to keep
+           the replay exact rather than wrapping early. *)
+        let max_window = List.fold_left Stdlib.max 1 windows in
+        let recorded =
+          Fom_trace.Source.of_instrs
+            ~label:(Fom_trace.Source.label source)
+            (Fom_trace.Source.record source ~n:(n + (2 * max_window)))
+        in
+        Fom_exec.Pool.map pool ~f:(point recorded) windows
+    | Some _ | None -> List.map (point source) windows
   in
   let fit =
     Fom_util.Fit.power_law
@@ -19,8 +39,9 @@ let measure_source ?(windows = default_windows) ?(n = 30_000) ?latencies ?issue_
   in
   { points; fit }
 
-let measure ?windows ?n ?latencies ?issue_limit program =
-  measure_source ?windows ?n ?latencies ?issue_limit (Fom_trace.Source.of_program program)
+let measure ?pool ?windows ?n ?latencies ?issue_limit program =
+  measure_source ?pool ?windows ?n ?latencies ?issue_limit
+    (Fom_trace.Source.of_program program)
 
 let alpha t = t.fit.Fom_util.Fit.alpha
 let beta t = t.fit.Fom_util.Fit.beta

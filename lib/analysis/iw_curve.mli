@@ -12,16 +12,27 @@ val default_windows : int list
 (** 4, 8, 16, 32, 64, 128, 256 — the paper's Figure 4 range. *)
 
 val measure :
-  ?windows:int list -> ?n:int -> ?latencies:Fom_isa.Latency.t ->
+  ?pool:Fom_exec.Pool.t -> ?windows:int list -> ?n:int ->
+  ?latencies:Fom_isa.Latency.t ->
   ?issue_limit:int -> Fom_trace.Program.t -> t
 (** Run the idealized simulation at each window size and fit. Defaults:
     {!default_windows}, 30_000 instructions per point, unit latencies,
-    unbounded issue — the implementation-independent curve. *)
+    unbounded issue — the implementation-independent curve.
+
+    [?pool] measures the window points in parallel (one task per
+    window). The trace is materialized once and replayed read-only by
+    every task, so the points — and therefore the fit — are
+    bit-identical to a sequential measurement; a [jobs = 1] pool takes
+    exactly the sequential path. *)
 
 val measure_source :
-  ?windows:int list -> ?n:int -> ?latencies:Fom_isa.Latency.t ->
+  ?pool:Fom_exec.Pool.t -> ?windows:int list -> ?n:int ->
+  ?latencies:Fom_isa.Latency.t ->
   ?issue_limit:int -> Fom_trace.Source.t -> t
-(** {!measure} over any replayable source. *)
+(** {!measure} over any replayable source. With [?pool] the source's
+    factory is invoked exactly once (to materialize the trace), which
+    also makes parallel measurement safe for non-reentrant
+    {!Fom_trace.Source.of_factory} sources. *)
 
 val alpha : t -> float
 val beta : t -> float

@@ -17,6 +17,8 @@
       predictor, latencies, functional units)
     - [FOM-Uxxx] — utility-function domain errors ({!Fom_util})
     - [FOM-Lxxx] — source lint findings ([tools/lint])
+    - [FOM-Exxx] — parallel execution ([Fom_exec]: worker counts,
+      task failures, pool lifecycle)
     - [FOM-X001] — internal invariant violation (a bug, not bad input) *)
 
 type severity = Error | Warning | Hint

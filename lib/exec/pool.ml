@@ -1,0 +1,177 @@
+module Checker = Fom_check.Checker
+module Diagnostic = Fom_check.Diagnostic
+
+(* Jobs enqueued on the pool are pre-wrapped chunk closures that never
+   raise: every per-task exception is captured into the caller's
+   result array before the chunk closure returns. *)
+type t = {
+  jobs : int;
+  mutex : Mutex.t;
+  work : (unit -> unit) Queue.t;
+  work_ready : Condition.t;  (* new work was enqueued, or shutdown *)
+  progress : Condition.t;  (* some map call completed all its chunks *)
+  mutable stopped : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let default_jobs () =
+  match Sys.getenv_opt "FOM_JOBS" with
+  | None -> Domain.recommended_domain_count ()
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some jobs when jobs >= 1 -> jobs
+      | Some _ | None ->
+          Checker.ensure ~code:"FOM-E001" ~path:"exec.FOM_JOBS" false
+            "FOM_JOBS must be a positive integer";
+          1)
+
+let rec worker_loop t =
+  Mutex.lock t.mutex;
+  while Queue.is_empty t.work && not t.stopped do
+    Condition.wait t.work_ready t.mutex
+  done;
+  match Queue.take_opt t.work with
+  | None ->
+      (* Stopped with an empty queue: the domain retires. *)
+      Mutex.unlock t.mutex
+  | Some job ->
+      Mutex.unlock t.mutex;
+      job ();
+      worker_loop t
+
+let create ?jobs () =
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  Checker.ensure ~code:"FOM-E001" ~path:"exec.jobs" (jobs >= 1)
+    "worker count must be at least 1";
+  let t =
+    {
+      jobs;
+      mutex = Mutex.create ();
+      work = Queue.create ();
+      work_ready = Condition.create ();
+      progress = Condition.create ();
+      stopped = false;
+      workers = [];
+    }
+  in
+  (* The calling domain is worker 0; only the remaining jobs - 1 run
+     as spawned domains. *)
+  t.workers <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let jobs t = t.jobs
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  let workers = t.workers in
+  t.stopped <- true;
+  t.workers <- [];
+  Condition.broadcast t.work_ready;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join workers
+
+let with_pool ?jobs f =
+  let t = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+(* Run every chunk closure, helping from the calling domain: enqueue
+   the chunks, then keep draining the shared queue until this call's
+   chunks have all completed. Draining *any* queued chunk (possibly
+   one belonging to a map issued by a task of this very pool) is what
+   makes nested maps deadlock-free: a waiting caller never sleeps
+   while runnable work exists. *)
+let run_chunks t chunks =
+  let n_chunks = Array.length chunks in
+  let remaining = ref n_chunks in
+  let wrap chunk () =
+    chunk ();
+    Mutex.lock t.mutex;
+    decr remaining;
+    if !remaining = 0 then Condition.broadcast t.progress;
+    Mutex.unlock t.mutex
+  in
+  Mutex.lock t.mutex;
+  if t.stopped then begin
+    Mutex.unlock t.mutex;
+    Checker.ensure ~code:"FOM-E003" ~path:"exec.map" false
+      "pool was used after shutdown"
+  end;
+  Array.iter (fun chunk -> Queue.add (wrap chunk) t.work) chunks;
+  Condition.broadcast t.work_ready;
+  let rec drive () =
+    if !remaining > 0 then
+      match Queue.take_opt t.work with
+      | Some job ->
+          Mutex.unlock t.mutex;
+          job ();
+          Mutex.lock t.mutex;
+          drive ()
+      | None ->
+          Condition.wait t.progress t.mutex;
+          drive ()
+  in
+  drive ();
+  Mutex.unlock t.mutex
+
+(* Re-root a failed task's own diagnostics under its task index so a
+   batch report says which task produced which problem. *)
+let reroot index ds =
+  List.map
+    (fun (d : Diagnostic.t) ->
+      Diagnostic.make ~severity:d.Diagnostic.severity ~code:d.Diagnostic.code
+        ~path:(Printf.sprintf "exec.task[%d].%s" index d.Diagnostic.path)
+        d.Diagnostic.message)
+    ds
+
+let capture ~f ~results items index =
+  results.(index) <-
+    (match f items.(index) with
+    | v -> Ok v
+    | exception Checker.Invalid ds -> Error (reroot index ds)
+    | exception exn ->
+        Error
+          [
+            Diagnostic.make ~code:"FOM-E002"
+              ~path:(Printf.sprintf "exec.task[%d]" index)
+              (Printexc.to_string exn);
+          ])
+
+let try_map (type b) t ~(f : _ -> b) items =
+  let items = Array.of_list items in
+  let n = Array.length items in
+  let results : (b, Diagnostic.t list) result array =
+    Array.make n (Error [])
+  in
+  (if t.jobs = 1 || n <= 1 then
+     for index = 0 to n - 1 do
+       capture ~f ~results items index
+     done
+   else begin
+     (* Contiguous chunks, a few per worker so that uneven task costs
+        (large IW windows, memory-bound benchmarks) still balance
+        without per-task queue traffic. *)
+     let n_chunks = Stdlib.min n (t.jobs * 4) in
+     let chunk c () =
+       let lo = c * n / n_chunks and hi = (c + 1) * n / n_chunks in
+       for index = lo to hi - 1 do
+         capture ~f ~results items index
+       done
+     in
+     run_chunks t (Array.init n_chunks chunk)
+   end);
+  Array.to_list results
+
+let map t ~f items =
+  let results = try_map t ~f items in
+  let failures =
+    List.concat_map (function Error ds -> ds | Ok _ -> []) results
+  in
+  if failures <> [] then raise (Checker.Invalid failures);
+  List.map
+    (function
+      | Ok v -> v
+      | Error _ -> Checker.internal_error "failed task survived the failure check")
+    results
+
+let map_reduce t ~f ~reduce ~init items =
+  List.fold_left reduce init (map t ~f items)

@@ -1,0 +1,74 @@
+(** Fixed domain-pool scheduler for embarrassingly parallel evaluation.
+
+    The paper's value proposition is that the first-order model is
+    orders of magnitude cheaper than detailed simulation; this module
+    is how the repository spends that cheapness across cores. A pool
+    owns a fixed set of worker domains (no work stealing, no dynamic
+    resizing) and evaluates *immutable task descriptors* with
+    {!map}/{!map_reduce}:
+
+    - {b Chunked}: the task list is split into contiguous chunks that
+      are enqueued once; workers take whole chunks, never individual
+      tasks, so scheduling overhead is independent of task count.
+    - {b Deterministic ordering}: results are delivered in task order
+      regardless of which domain ran which chunk, and {!map_reduce}
+      folds in task order — a [jobs = 1] pool is bit-identical to
+      [jobs = N].
+    - {b Exception capture}: a task that raises does not tear down the
+      pool. Failures are collected per task and surfaced as
+      {!Fom_check} diagnostics ([FOM-E002], or the task's own
+      diagnostics re-rooted under its index); the surviving pool can
+      immediately run the next batch.
+    - {b Reentrant}: a task may itself call {!map} on the same pool.
+      The caller of a map always helps drain the shared queue while it
+      waits, so nested maps make progress even on a single domain.
+
+    Diagnostic codes ([FOM-Exxx], "execution"):
+    - [FOM-E001] — invalid job count (flag, [FOM_JOBS], or [create])
+    - [FOM-E002] — a task raised a non-diagnostic exception
+    - [FOM-E003] — the pool was used after {!shutdown} *)
+
+type t
+(** A pool of worker domains. The creating domain participates in
+    every {!map}, so a pool of [jobs = n] spawns [n - 1] domains and a
+    [jobs = 1] pool spawns none and runs everything inline. *)
+
+val default_jobs : unit -> int
+(** The [FOM_JOBS] environment variable if set (a positive integer,
+    else a [FOM-E001] diagnostic is raised), otherwise
+    [Domain.recommended_domain_count ()]. *)
+
+val create : ?jobs:int -> unit -> t
+(** [create ~jobs ()] starts a pool of [jobs] workers (default
+    {!default_jobs}). Requires [jobs >= 1].
+    @raise Fom_check.Checker.Invalid with [FOM-E001] otherwise. *)
+
+val jobs : t -> int
+(** The pool's worker count (including the calling domain). *)
+
+val shutdown : t -> unit
+(** Drain outstanding work, join the worker domains and mark the pool
+    closed. Idempotent; subsequent {!map} calls raise [FOM-E003]. *)
+
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+(** [with_pool f] runs [f] with a fresh pool and always shuts it
+    down. *)
+
+val try_map :
+  t -> f:('a -> 'b) -> 'a list -> ('b, Fom_check.Diagnostic.t list) result list
+(** [try_map pool ~f tasks] evaluates [f] over every task and returns
+    one result per task, in task order. A raising task yields [Error]:
+    its {!Fom_check.Checker.Invalid} diagnostics re-rooted under
+    [exec.task[i]], or a single [FOM-E002] diagnostic for any other
+    exception. All tasks run to completion even when some fail. *)
+
+val map : t -> f:('a -> 'b) -> 'a list -> 'b list
+(** Like {!try_map} but returns the plain results.
+    @raise Fom_check.Checker.Invalid with every failed task's
+    diagnostics if any task raised. *)
+
+val map_reduce :
+  t -> f:('a -> 'b) -> reduce:('acc -> 'b -> 'acc) -> init:'acc -> 'a list -> 'acc
+(** [map_reduce pool ~f ~reduce ~init tasks] maps in parallel and
+    folds the results sequentially in task order, so the reduction is
+    deterministic even when [reduce] is not commutative. *)

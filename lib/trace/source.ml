@@ -8,12 +8,12 @@ let label t = t.label
 let fresh t = t.fresh ()
 let of_factory ~label fresh = { label; fresh }
 
-let of_program program =
+let of_program ?seed program =
   {
     label = program.Program.config.Config.name;
     fresh =
       (fun () ->
-        let stream = Stream.create program in
+        let stream = Stream.create ?seed program in
         fun () -> Stream.next stream);
   }
 

@@ -34,8 +34,12 @@ val label : t -> string
 val fresh : t -> unit -> Fom_isa.Instr.t
 (** A thunk restarting the trace from instruction 0. *)
 
-val of_program : Program.t -> t
-(** Replay the synthetic program (each thunk is a new {!Stream}). *)
+val of_program : ?seed:int -> Program.t -> t
+(** Replay the synthetic program (each thunk is a new {!Stream}).
+    [?seed] passes an explicit per-task stream seed through to
+    {!Stream.create} — parallel sweeps split one root generator with
+    {!Fom_util.Rng.split_seeds} *before* fanning out, so every task
+    replays the same trace no matter which domain runs it. *)
 
 val of_factory : label:string -> (unit -> unit -> Fom_isa.Instr.t) -> t
 (** Wrap an arbitrary thunk factory; each call of the factory must

@@ -10,8 +10,13 @@
 
 type t
 
-val create : Program.t -> t
-(** Fresh stream positioned at the program entry, instruction 0. *)
+val create : ?seed:int -> Program.t -> t
+(** Fresh stream positioned at the program entry, instruction 0.
+    [?seed] overrides the config's seed for this stream's dynamic
+    draws (dependence distances, addresses, branch directions) without
+    regenerating the program — the hook parallel sweeps use to give
+    each task an explicit {!Fom_util.Rng.split_seeds}-derived stream
+    that is independent of task execution order. *)
 
 val next : t -> Fom_isa.Instr.t
 (** Emit the next dynamic instruction. Never fails: the synthetic walk

@@ -1,0 +1,25 @@
+(** Minimal JSON emission (no parsing, no dependencies).
+
+    Just enough to write machine-readable artifacts — the bench
+    harness's timing baseline ([BENCH_baseline.json], CI's
+    [bench.json]) — with stable, diff-friendly output: object fields
+    print in the order given, arrays in order, and numbers through
+    one fixed format. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?indent:int -> t -> string
+(** Render with the given indent width (default 2; [0] means one
+    line). Strings are escaped per RFC 8259; non-finite floats render
+    as [null] (JSON has no representation for them). *)
+
+val write_file : path:string -> t -> unit
+(** [write_file ~path v] writes [to_string v] and a trailing newline
+    atomically enough for CI artifacts (plain create-truncate). *)

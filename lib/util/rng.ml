@@ -19,6 +19,16 @@ let split t =
 
 let copy t = { state = t.state }
 
+let split_n t n =
+  Fom_check.Checker.ensure ~code:"FOM-U001" ~path:"rng.split_n" (n >= 0)
+    "stream count must be non-negative";
+  Array.init n (fun _ -> split t)
+
+let split_seeds t n =
+  Fom_check.Checker.ensure ~code:"FOM-U001" ~path:"rng.split_seeds" (n >= 0)
+    "seed count must be non-negative";
+  Array.init n (fun _ -> Int64.to_int (Int64.shift_right_logical (bits64 t) 2))
+
 let ensure = Fom_check.Checker.ensure ~code:"FOM-U001"
 
 let int t n =

@@ -20,6 +20,19 @@ val split : t -> t
 val copy : t -> t
 (** [copy t] duplicates the current state without advancing it. *)
 
+val split_n : t -> int -> t array
+(** [split_n t n] derives [n] independent generators from [t] in one
+    step, advancing [t] by [n] draws. The split is performed *before*
+    any parallel work begins, so handing stream [i] to task [i] gives
+    every task the same draws no matter which domain runs it or in
+    what order — the seed-discipline that keeps {!Fom_exec.Pool} runs
+    bit-identical to sequential ones. Requires [n >= 0]. *)
+
+val split_seeds : t -> int -> int array
+(** [split_seeds t n] is {!split_n} flattened to plain non-negative
+    integer seeds, for APIs that take a seed rather than a generator
+    (workload configs, [Fom_trace.Source.of_program ~seed]). *)
+
 val bits64 : t -> int64
 (** Next raw 64-bit output. *)
 

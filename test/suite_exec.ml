@@ -1,0 +1,190 @@
+(* Tests for Fom_exec.Pool: deterministic ordering, jobs-independence
+   of results (the --jobs 1 reproducibility contract), per-task
+   exception capture as diagnostics, pool survival after failures,
+   and the explicit per-task seed split through Fom_trace. *)
+
+module Pool = Fom_exec.Pool
+module Checker = Fom_check.Checker
+module Diagnostic = Fom_check.Diagnostic
+module Rng = Fom_util.Rng
+module Iw_curve = Fom_analysis.Iw_curve
+module Source = Fom_trace.Source
+
+let gzip = lazy (Fom_trace.Program.generate (Fom_workloads.Spec2000.find "gzip"))
+
+let test_map_preserves_order () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let items = List.init 100 (fun i -> i) in
+      let got = Pool.map pool ~f:(fun x -> (2 * x) + 1) items in
+      Alcotest.(check (list int)) "ordered" (List.map (fun x -> (2 * x) + 1) items) got)
+
+let test_map_empty_and_single () =
+  Pool.with_pool ~jobs:3 (fun pool ->
+      Alcotest.(check (list int)) "empty" [] (Pool.map pool ~f:(fun x -> x) []);
+      Alcotest.(check (list int)) "single" [ 7 ] (Pool.map pool ~f:(fun x -> x + 4) [ 3 ]))
+
+let test_jobs_invariance_iw_curve () =
+  (* The acceptance contract: a --jobs 1 run reproduces the parallel
+     run bit for bit. The IW curve is the hot path the pool serves, so
+     compare every point and the fit across worker counts, with exact
+     float equality. *)
+  let program = Lazy.force gzip in
+  let windows = [ 4; 16; 64 ] in
+  let measure pool = Iw_curve.measure ?pool ~windows ~n:4000 program in
+  let sequential = measure None in
+  Pool.with_pool ~jobs:1 (fun pool1 ->
+      Pool.with_pool ~jobs:4 (fun pool4 ->
+          let one = measure (Some pool1) in
+          let four = measure (Some pool4) in
+          List.iter2
+            (fun (a : Iw_curve.point) (b : Iw_curve.point) ->
+              Alcotest.(check int) "window" a.Iw_curve.window b.Iw_curve.window;
+              Alcotest.(check (float 0.0)) "ipc bit-identical" a.Iw_curve.ipc b.Iw_curve.ipc)
+            sequential.Iw_curve.points one.Iw_curve.points;
+          List.iter2
+            (fun (a : Iw_curve.point) (b : Iw_curve.point) ->
+              Alcotest.(check (float 0.0)) "ipc bit-identical" a.Iw_curve.ipc b.Iw_curve.ipc)
+            sequential.Iw_curve.points four.Iw_curve.points;
+          Alcotest.(check (float 0.0))
+            "alpha bit-identical" (Iw_curve.alpha sequential) (Iw_curve.alpha four);
+          Alcotest.(check (float 0.0))
+            "beta bit-identical" (Iw_curve.beta sequential) (Iw_curve.beta four)))
+
+let test_exception_becomes_diagnostic () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      (match Pool.map pool ~f:(fun x -> if x = 13 then failwith "boom" else x) (List.init 20 Fun.id) with
+      | _ -> Alcotest.fail "expected Invalid"
+      | exception Checker.Invalid ds ->
+          Alcotest.(check int) "one diagnostic" 1 (List.length ds);
+          let d = List.hd ds in
+          Alcotest.(check string) "code" "FOM-E002" d.Diagnostic.code;
+          Alcotest.(check string) "path names the task" "exec.task[13]" d.Diagnostic.path);
+      (* The pool survives the failure: the next batch runs normally. *)
+      let got = Pool.map pool ~f:(fun x -> x * x) [ 1; 2; 3 ] in
+      Alcotest.(check (list int)) "pool alive after failure" [ 1; 4; 9 ] got)
+
+let test_task_diagnostics_rerooted () =
+  (* A task raising Checker.Invalid keeps its own code; the path gains
+     the task index. Every failing task is reported, not just the
+     first. *)
+  Pool.with_pool ~jobs:2 (fun pool ->
+      match
+        Pool.map pool
+          ~f:(fun x ->
+            Checker.ensure ~code:"FOM-P001" ~path:"params.width" (x mod 2 = 0) "odd";
+            x)
+          [ 0; 1; 2; 3 ]
+      with
+      | _ -> Alcotest.fail "expected Invalid"
+      | exception Checker.Invalid ds ->
+          Alcotest.(check int) "both failures reported" 2 (List.length ds);
+          List.iter
+            (fun (d : Diagnostic.t) ->
+              Alcotest.(check string) "original code kept" "FOM-P001" d.Diagnostic.code)
+            ds;
+          Alcotest.(check (list string))
+            "paths rerooted under task indices"
+            [ "exec.task[1].params.width"; "exec.task[3].params.width" ]
+            (List.map (fun (d : Diagnostic.t) -> d.Diagnostic.path) ds))
+
+let test_try_map_partial () =
+  Pool.with_pool ~jobs:3 (fun pool ->
+      let results =
+        Pool.try_map pool ~f:(fun x -> if x < 0 then failwith "neg" else x) [ 1; -1; 2 ]
+      in
+      match results with
+      | [ Ok 1; Error [ d ]; Ok 2 ] ->
+          Alcotest.(check string) "code" "FOM-E002" d.Diagnostic.code
+      | _ -> Alcotest.fail "unexpected result shape")
+
+let test_map_reduce_order () =
+  (* The reduction is a fold in task order, so a non-commutative
+     reduce gives the sequential answer. *)
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let items = List.init 26 (fun i -> String.make 1 (Char.chr (Char.code 'a' + i))) in
+      let got =
+        Pool.map_reduce pool ~f:String.uppercase_ascii ~reduce:( ^ ) ~init:"" items
+      in
+      Alcotest.(check string) "concatenation in order" "ABCDEFGHIJKLMNOPQRSTUVWXYZ" got)
+
+let test_nested_map () =
+  (* A task may map on the same pool; the waiting caller helps drain
+     the queue, so this terminates even with a single worker. *)
+  Pool.with_pool ~jobs:2 (fun pool ->
+      let got =
+        Pool.map pool
+          ~f:(fun row -> Pool.map_reduce pool ~f:(fun x -> row * x) ~reduce:( + ) ~init:0 [ 1; 2; 3 ])
+          [ 1; 2 ]
+      in
+      Alcotest.(check (list int)) "nested" [ 6; 12 ] got)
+
+let test_shutdown_rejects_use () =
+  let pool = Pool.create ~jobs:2 () in
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  (* idempotent *)
+  match Pool.map pool ~f:(fun x -> x) [ 1; 2 ] with
+  | _ -> Alcotest.fail "expected Invalid"
+  | exception Checker.Invalid [ d ] ->
+      Alcotest.(check string) "code" "FOM-E003" d.Diagnostic.code
+  | exception Checker.Invalid _ -> Alcotest.fail "expected one diagnostic"
+
+let test_default_jobs_positive () =
+  Alcotest.(check bool) "at least one" true (Pool.default_jobs () >= 1)
+
+let test_split_seeds_deterministic () =
+  let a = Rng.split_seeds (Rng.create 42) 8 in
+  let b = Rng.split_seeds (Rng.create 42) 8 in
+  Alcotest.(check (array int)) "same root, same seeds" a b;
+  let c = Rng.split_seeds (Rng.create 43) 8 in
+  Alcotest.(check bool) "different root differs" true (a <> c);
+  let distinct = List.sort_uniq compare (Array.to_list a) in
+  Alcotest.(check int) "seeds distinct" 8 (List.length distinct);
+  Array.iter (fun s -> Alcotest.(check bool) "non-negative" true (s >= 0)) a
+
+let test_split_n_matches_split () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  let streams = Rng.split_n a 3 in
+  let manual = Array.init 3 (fun _ -> Rng.split b) in
+  Array.iteri
+    (fun i s ->
+      Alcotest.(check int64) "same stream" (Rng.bits64 manual.(i)) (Rng.bits64 s))
+    streams
+
+let test_source_seed_override () =
+  (* The per-task seed split through lib/trace: an explicit seed
+     reproduces exactly, and differs from the config's default
+     stream. *)
+  let program = Lazy.force gzip in
+  let record seed = Source.record (Source.of_program ?seed program) ~n:500 in
+  let a = record (Some 1234) and b = record (Some 1234) in
+  Alcotest.(check bool) "explicit seed reproduces" true (a = b);
+  let default = record None in
+  Alcotest.(check bool) "override perturbs the stream" true (a <> default)
+
+let prop_map_agrees_with_list_map =
+  QCheck.Test.make ~name:"pool map agrees with List.map and preserves order" ~count:50
+    QCheck.(list small_int)
+    (fun items ->
+      Pool.with_pool ~jobs:4 (fun pool ->
+          Pool.map pool ~f:(fun x -> (x * 31) + 7) items
+          = List.map (fun x -> (x * 31) + 7) items))
+
+let suite =
+  ( "exec",
+    [
+      Alcotest.test_case "map preserves order" `Quick test_map_preserves_order;
+      Alcotest.test_case "map empty and single" `Quick test_map_empty_and_single;
+      Alcotest.test_case "jobs-invariant IW curve" `Quick test_jobs_invariance_iw_curve;
+      Alcotest.test_case "exception becomes diagnostic" `Quick test_exception_becomes_diagnostic;
+      Alcotest.test_case "task diagnostics rerooted" `Quick test_task_diagnostics_rerooted;
+      Alcotest.test_case "try_map partial results" `Quick test_try_map_partial;
+      Alcotest.test_case "map_reduce folds in order" `Quick test_map_reduce_order;
+      Alcotest.test_case "nested map on one pool" `Quick test_nested_map;
+      Alcotest.test_case "shutdown rejects use" `Quick test_shutdown_rejects_use;
+      Alcotest.test_case "default jobs positive" `Quick test_default_jobs_positive;
+      Alcotest.test_case "split_seeds deterministic" `Quick test_split_seeds_deterministic;
+      Alcotest.test_case "split_n matches split" `Quick test_split_n_matches_split;
+      Alcotest.test_case "source seed override" `Quick test_source_seed_override;
+      QCheck_alcotest.to_alcotest prop_map_agrees_with_list_map;
+    ] )

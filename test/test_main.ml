@@ -2,6 +2,7 @@ let () =
   Alcotest.run "fom"
     [
       Suite_check.suite;
+      Suite_exec.suite;
       Suite_util.suite;
       Suite_isa.suite;
       Suite_trace.suite;
