@@ -23,6 +23,7 @@ type t = {
   pool : Pool.t;  (** worker domains shared by every exhibit *)
   programs : (string * Fom_trace.Program.t) list;
   lock : Mutex.t;
+  packs : (string, Fom_trace.Packed.t) Hashtbl.t;
   sims : (string, Stats.t) Hashtbl.t;
   inputs : (string, Fom_analysis.Iw_curve.t * Fom_analysis.Profile.t * Fom_model.Inputs.t) Hashtbl.t;
 }
@@ -45,6 +46,7 @@ let create ?csv_dir ?jobs ~scale () =
         (fun config -> (config.Fom_trace.Config.name, Fom_trace.Program.generate config))
         Fom_workloads.Spec2000.all;
     lock = Mutex.create ();
+    packs = Hashtbl.create 16;
     sims = Hashtbl.create 64;
     inputs = Hashtbl.create 16;
   }
@@ -86,9 +88,29 @@ let memo t tbl key compute =
       Mutex.unlock t.lock;
       kept
 
+(* One packed trace per benchmark, shared by every simulation variant
+   and the characterization passes. The margin past the longest pass
+   covers the machine's fetch-ahead (bounded by the in-flight span)
+   and the IW sweep's window overhang. *)
+let packed_margin = 8192
+
+let packed t name =
+  memo t t.packs name (fun () ->
+      let n =
+        Stdlib.max (Stdlib.max t.n_sim t.n_profile) (t.n_iw + 512) + packed_margin
+      in
+      Fom_trace.Packed.of_source (Fom_trace.Source.of_program (program t name)) ~n)
+
 let sim t ~variant ~config name =
   let key = Printf.sprintf "%s/%s/%d" variant name t.n_sim in
-  memo t t.sims key (fun () -> Fom_uarch.Simulate.run config (program t name) ~n:t.n_sim)
+  memo t t.sims key (fun () ->
+      (* Replay the packed columns instead of re-generating the stream;
+         identical instructions, so identical statistics. Configs whose
+         fetch-ahead could outrun the packed margin (none of the stock
+         variants) fall back to generation. *)
+      if Config.inflight_span config <= packed_margin then
+        Fom_uarch.Simulate.run_packed config (packed t name) ~n:t.n_sim
+      else Fom_uarch.Simulate.run config (program t name) ~n:t.n_sim)
 
 let characterization ?(grouping = Fom_analysis.Profile.Dependence_aware) t name =
   let key =
@@ -101,8 +123,9 @@ let characterization ?(grouping = Fom_analysis.Profile.Dependence_aware) t name 
       (* The pool is passed down so the IW-curve points parallelize
          across windows as well as benchmarks; nested maps are safe
          because a waiting caller helps drain the shared queue. *)
-      Fom_analysis.Characterize.curve_and_inputs ~pool:t.pool ~iw_instructions:t.n_iw
-        ~grouping ~params:Params.baseline (program t name) ~n:t.n_profile)
+      Fom_analysis.Characterize.curve_and_inputs_of_packed ~pool:t.pool
+        ~iw_instructions:t.n_iw ~grouping ~params:Params.baseline (packed t name)
+        ~n:t.n_profile)
 
 (* Run independent thunks on the pool; exhibits use this to warm the
    memo caches in parallel before printing rows in their fixed

@@ -53,6 +53,7 @@ type options = {
   mutable csv_dir : string option;
   mutable jobs : int option;
   mutable json : string option;
+  mutable baseline : string option;
   mutable git_rev : string;
 }
 
@@ -66,6 +67,7 @@ let parse_args () =
       csv_dir = None;
       jobs = None;
       json = None;
+      baseline = None;
       git_rev = Option.value (Sys.getenv_opt "FOM_GIT_REV") ~default:"unknown";
     }
   in
@@ -88,6 +90,9 @@ let parse_args () =
       ( "--json",
         Arg.String (fun path -> options.json <- Some path),
         "PATH write the machine-readable timing baseline (schema fom-bench/1)" );
+      ( "--baseline",
+        Arg.String (fun path -> options.baseline <- Some path),
+        "PATH gate wall times against a committed fom-bench/1 baseline (fail beyond 2x)" );
       ( "--git-rev",
         Arg.String (fun rev -> options.git_rev <- rev),
         "REV revision recorded in the JSON baseline (default: $FOM_GIT_REV or \"unknown\")" );
@@ -130,6 +135,54 @@ let run_pass ~jobs ~csv_dir ~scale selected =
           Printf.printf "[%s done in %.1fs]\n%!" name dt;
           (name, dt))
         selected)
+
+(* The CI regression gate: every measured exhibit that also appears in
+   the committed baseline must stay within 2x of the baseline's
+   sequential wall time, after normalizing both sides by their scale
+   factor (wall time is linear in the instruction counts, which all
+   scale together). Exhibits whose normalized baseline is under 50ms
+   are reported but never gated: at that magnitude the ratio measures
+   timer noise, not code. The measured pass should itself run
+   sequentially (--jobs 1) for the comparison to be strict; a parallel
+   pass only makes the gate more permissive. Returns the regressed
+   exhibits. *)
+let baseline_gate_floor = 0.05
+
+let baseline_regressions ~scale ~timed path =
+  let module J = Fom_util.Json in
+  let doc = J.of_file ~path in
+  let base_scale =
+    match Option.bind (J.member "scale" doc) J.number with
+    | Some s when s > 0.0 -> s
+    | Some _ | None -> 1.0
+  in
+  let baseline_seconds name =
+    match J.member "exhibits" doc with
+    | Some (J.List items) ->
+        List.find_map
+          (fun item ->
+            match J.member "name" item with
+            | Some (J.String n) when String.equal n name -> (
+                match J.member "seconds_jobs1" item with
+                | Some v -> J.number v
+                | None -> Option.bind (J.member "seconds" item) J.number)
+            | Some _ | None -> None)
+          items
+    | Some _ | None -> None
+  in
+  List.filter_map
+    (fun (name, seconds) ->
+      match baseline_seconds name with
+      | Some base when base > 0.0 ->
+          let ratio = seconds /. scale /. (base /. base_scale) in
+          let gated = base /. base_scale >= baseline_gate_floor in
+          Printf.printf
+            "baseline gate: %-12s %.2fs at scale %.2f vs %.2fs at scale %.2f (%.2fx%s)\n" name
+            seconds scale base base_scale ratio
+            (if gated then "" else ", below the gate floor");
+          if gated && ratio > 2.0 then Some (name, ratio) else None
+      | Some _ | None -> None)
+    timed
 
 let json_report ~options ~jobs ~timed ~sequential ~total_seconds =
   let module J = Fom_util.Json in
@@ -176,7 +229,10 @@ let () =
             names;
           List.filter (fun (name, _, _) -> List.mem name names) exhibits
     in
-    let jobs = match options.jobs with Some j -> j | None -> Fom_exec.Pool.default_jobs () in
+    let jobs, jobs_warnings = Fom_exec.Pool.resolve_jobs ?requested:options.jobs () in
+    List.iter
+      (fun d -> prerr_endline (Fom_check.Diagnostic.to_string d))
+      jobs_warnings;
     Printf.printf
       "First-order superscalar model reproduction harness (scale %.2f, %d exhibits, %d jobs)\n"
       options.scale (List.length selected) jobs;
@@ -196,5 +252,17 @@ let () =
         Fom_util.Json.write_file ~path
           (json_report ~options ~jobs ~timed ~sequential ~total_seconds:total);
         Printf.printf "wrote timing baseline to %s\n" path);
-    Printf.printf "\nTotal harness time: %.1fs\n" total
+    Printf.printf "\nTotal harness time: %.1fs\n" total;
+    match options.baseline with
+    | None -> ()
+    | Some path -> (
+        match baseline_regressions ~scale:options.scale ~timed path with
+        | [] -> ()
+        | regressions ->
+            List.iter
+              (fun (name, ratio) ->
+                Printf.eprintf "FAIL: exhibit %s regressed to %.2fx of the baseline\n" name
+                  ratio)
+              regressions;
+            exit 1)
   end

@@ -12,9 +12,24 @@ let make_tests () =
   let inputs = Fom_analysis.Characterize.inputs ~iw_instructions:2000 ~params program ~n:5000 in
   let square = Fom_model.Iw_characteristic.make ~alpha:1.0 ~beta:0.5 ~issue_width:4.0 () in
   [
-    (* Table 1 / Figures 4-6: one IW-curve point. *)
+    (* Table 1 / Figures 4-6: one IW-curve point (reference kernel,
+       packing included). *)
     Test.make ~name:"iw-sim point (w=32, 2k instrs)"
       (Staged.stage (fun () -> Fom_analysis.Iw_sim.ipc program ~window:32 ~n:2000));
+    (* Packed-trace construction alone: one pass over the stream into
+       the structure-of-arrays columns. *)
+    Test.make ~name:"packed build (10k instrs)"
+      (Staged.stage (fun () ->
+           ignore
+             (Fom_trace.Packed.of_source (Fom_trace.Source.of_program program) ~n:10_000)));
+    (* The event-driven IW kernel over a pre-built packing — the inner
+       loop of every window sweep. *)
+    Test.make ~name:"iw event kernel (w=32, 2k instrs)"
+      (Staged.stage
+         (let packed =
+            Fom_trace.Packed.of_source (Fom_trace.Source.of_program program) ~n:2100
+          in
+          fun () -> ignore (Fom_analysis.Iw_sim.ipc_of_packed packed ~window:32 ~n:2000)));
     (* Figure 8: the analytic transient. *)
     Test.make ~name:"transient drain+ramp"
       (Staged.stage (fun () ->

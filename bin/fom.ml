@@ -345,17 +345,23 @@ let check_cmd =
       | inputs -> reroot prefix (Fom_model.Inputs.check inputs)
       | exception C.Invalid ds -> reroot prefix ds
     in
-    let deep_results =
-      if not deep then []
+    (* The deep sweep defaults to the machine's recommended domain
+       count (sequential on a single core); an explicit --jobs beyond
+       it is honored but flagged FOM-E004. *)
+    let jobs_diags, deep_results =
+      if not deep then ([], [])
       else
-        Fom_exec.Pool.with_pool ?jobs (fun pool ->
-            Fom_exec.Pool.map pool ~f:deep_diags
-              (List.mapi (fun index config -> (index, config)) workloads))
+        let resolved, warnings = Fom_exec.Pool.resolve_jobs ?requested:jobs () in
+        ( warnings,
+          Fom_exec.Pool.with_pool ~jobs:resolved (fun pool ->
+              Fom_exec.Pool.map pool ~f:deep_diags
+                (List.mapi (fun index config -> (index, config)) workloads)) )
     in
     let diags =
       C.all
         (Fom_model.Params.check params
         :: Fom_uarch.Config.check machine
+        :: jobs_diags
         :: List.map Fom_trace.Config.check workloads
         @ deep_results)
     in

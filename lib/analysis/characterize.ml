@@ -1,35 +1,57 @@
 module Inputs = Fom_model.Inputs
 module Params = Fom_model.Params
+module Packed = Fom_trace.Packed
 
-let curve_and_inputs_of_source ?pool ?windows ?iw_instructions ?cache ?predictor ?latencies
-    ?grouping ?dtlb ~(params : Params.t) source ~n =
-  let curve = Iw_curve.measure_source ?pool ?windows ?n:iw_instructions source in
+let assemble ~name ~n curve (profile : Profile.t) =
+  {
+    Inputs.name;
+    instructions = n;
+    alpha = Float.max 0.01 (Iw_curve.alpha curve);
+    (* A dependence-saturated trace fits a flat (or noise-negative)
+       exponent; clamp into the model's valid (0, 1] range. *)
+    beta = Float.min 1.0 (Float.max 0.01 (Iw_curve.beta curve));
+    fit_r2 = curve.Iw_curve.fit.Fom_util.Fit.r2;
+    avg_latency = Float.max 1.0 profile.Profile.avg_latency;
+    mispredictions_per_instr = Profile.per_instr profile profile.Profile.mispredictions;
+    mispred_bursts = profile.Profile.mispred_bursts;
+    l1i_misses_per_instr = Profile.per_instr profile profile.Profile.l1i_misses;
+    l2i_misses_per_instr = Profile.per_instr profile profile.Profile.l2i_misses;
+    short_misses_per_instr = Profile.per_instr profile profile.Profile.short_misses;
+    long_misses_per_instr = Profile.per_instr profile profile.Profile.long_misses;
+    long_miss_groups = profile.Profile.long_miss_groups;
+    dtlb_misses_per_instr = Profile.per_instr profile profile.Profile.dtlb_misses;
+    dtlb_groups = profile.Profile.dtlb_groups;
+  }
+
+let curve_and_inputs_of_packed ?pool ?windows ?iw_instructions ?cache ?predictor ?latencies
+    ?grouping ?dtlb ~(params : Params.t) packed ~n =
+  Fom_check.Checker.ensure ~code:"FOM-I033" ~path:"characterize.trace"
+    (Packed.length packed >= n)
+    (Printf.sprintf "packed trace of %d instructions is shorter than the %d-instruction \
+                     profile" (Packed.length packed) n);
+  let curve = Iw_curve.measure_packed ?pool ?windows ?n:iw_instructions packed in
   let profile =
     Profile.run_source ?cache ?predictor ?latencies ?grouping ?dtlb
-      ~burst_window:params.Params.window_size ~group_window:params.Params.rob_size source ~n
+      ~burst_window:params.Params.window_size ~group_window:params.Params.rob_size
+      (Packed.to_source ~wrap:false packed)
+      ~n
   in
-  let inputs =
-    {
-      Inputs.name = Fom_trace.Source.label source;
-      instructions = n;
-      alpha = Float.max 0.01 (Iw_curve.alpha curve);
-      (* A dependence-saturated trace fits a flat (or noise-negative)
-         exponent; clamp into the model's valid (0, 1] range. *)
-      beta = Float.min 1.0 (Float.max 0.01 (Iw_curve.beta curve));
-      fit_r2 = curve.Iw_curve.fit.Fom_util.Fit.r2;
-      avg_latency = Float.max 1.0 profile.Profile.avg_latency;
-      mispredictions_per_instr = Profile.per_instr profile profile.Profile.mispredictions;
-      mispred_bursts = profile.Profile.mispred_bursts;
-      l1i_misses_per_instr = Profile.per_instr profile profile.Profile.l1i_misses;
-      l2i_misses_per_instr = Profile.per_instr profile profile.Profile.l2i_misses;
-      short_misses_per_instr = Profile.per_instr profile profile.Profile.short_misses;
-      long_misses_per_instr = Profile.per_instr profile profile.Profile.long_misses;
-      long_miss_groups = profile.Profile.long_miss_groups;
-      dtlb_misses_per_instr = Profile.per_instr profile profile.Profile.dtlb_misses;
-      dtlb_groups = profile.Profile.dtlb_groups;
-    }
+  (curve, profile, assemble ~name:(Packed.label packed) ~n curve profile)
+
+let curve_and_inputs_of_source ?pool ?windows ?iw_instructions ?cache ?predictor ?latencies
+    ?grouping ?dtlb ~params source ~n =
+  (* Pack the trace once, sized for whichever pass reads furthest: the
+     profile's [n] or the IW sweep's instructions plus its largest
+     window of fetch-ahead. Both passes then replay the same flat
+     columns with no further decode of the underlying source. *)
+  let iw_instructions = Option.value iw_instructions ~default:30_000 in
+  let windows = match windows with Some w -> w | None -> Iw_curve.default_windows in
+  let max_window = List.fold_left Stdlib.max 1 windows in
+  let packed =
+    Packed.of_source source ~n:(Stdlib.max n (iw_instructions + max_window))
   in
-  (curve, profile, inputs)
+  curve_and_inputs_of_packed ?pool ~windows ~iw_instructions ?cache ?predictor ?latencies
+    ?grouping ?dtlb ~params packed ~n
 
 let curve_and_inputs ?pool ?windows ?iw_instructions ?cache ?predictor ?latencies ?grouping
     ?dtlb ~params program ~n =

@@ -61,4 +61,22 @@ val curve_and_inputs_of_source :
   ?dtlb:Fom_cache.Tlb.spec ->
   params:Fom_model.Params.t ->
   Fom_trace.Source.t -> n:int -> Iw_curve.t * Profile.t * Fom_model.Inputs.t
-(** {!curve_and_inputs} over any replayable source. *)
+(** {!curve_and_inputs} over any replayable source. The source is
+    packed once ({!Fom_trace.Packed}) and both passes — the IW sweep
+    and the functional profile — replay the packed columns. *)
+
+val curve_and_inputs_of_packed :
+  ?pool:Fom_exec.Pool.t ->
+  ?windows:int list -> ?iw_instructions:int ->
+  ?cache:Fom_cache.Hierarchy.config ->
+  ?predictor:Fom_branch.Predictor.spec ->
+  ?latencies:Fom_isa.Latency.t ->
+  ?grouping:Profile.grouping ->
+  ?dtlb:Fom_cache.Tlb.spec ->
+  params:Fom_model.Params.t ->
+  Fom_trace.Packed.t -> n:int -> Iw_curve.t * Profile.t * Fom_model.Inputs.t
+(** {!curve_and_inputs} over an already-packed trace — for callers
+    (e.g. the bench harness) sharing one packing between
+    characterization and detailed simulation. The packing must cover
+    the profile's [n] instructions ([FOM-I033]) and the IW sweep's
+    needs (see {!Iw_curve.measure_packed}). *)

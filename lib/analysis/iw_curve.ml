@@ -4,40 +4,42 @@ type t = { points : point list; fit : Fom_util.Fit.power_law }
 
 let default_windows = [ 4; 8; 16; 32; 64; 128; 256 ]
 
-let measure_source ?pool ?(windows = default_windows) ?(n = 30_000) ?latencies ?issue_limit
-    source =
+let check_windows windows =
   Fom_check.Checker.ensure ~code:"FOM-I030" ~path:"iw_curve.windows" (windows <> [])
-    "at least one window size is required";
+    "at least one window size is required"
+
+let measure_packed ?pool ?(windows = default_windows) ?(n = 30_000) ?latencies ?issue_limit
+    packed =
+  check_windows windows;
   let windows = List.sort_uniq compare windows in
-  let point source window =
-    { window; ipc = Iw_sim.ipc_of_source ?latencies ?issue_limit source ~window ~n }
+  let point window =
+    { window; ipc = Iw_sim.ipc_of_packed ?latencies ?issue_limit packed ~window ~n }
   in
   let points =
     match pool with
     | Some pool when Fom_exec.Pool.jobs pool > 1 ->
-        (* One window per task. Each sequential measurement replays the
-           source from scratch anyway (one fresh pass per window), so
-           parallel tasks replaying a materialized copy of that same
-           trace see bit-identical instructions; materializing once
-           also makes the sweep safe for sources whose factories are
-           not reentrant (e.g. user [of_factory] thunks). The
-           simulator fetches up to a window beyond the [n] it issues,
-           so the recording carries two max-windows of margin to keep
-           the replay exact rather than wrapping early. *)
-        let max_window = List.fold_left Stdlib.max 1 windows in
-        let recorded =
-          Fom_trace.Source.of_instrs
-            ~label:(Fom_trace.Source.label source)
-            (Fom_trace.Source.record source ~n:(n + (2 * max_window)))
-        in
-        Fom_exec.Pool.map pool ~f:(point recorded) windows
-    | Some _ | None -> List.map (point source) windows
+        (* One window per task. The packed trace is immutable flat
+           arrays, so every domain reads the same columns in place —
+           no copying, and the same kernel as the sequential path, so
+           the points (hence the fit) are bit-identical either way. *)
+        Fom_exec.Pool.map pool ~f:point windows
+    | Some _ | None -> List.map point windows
   in
   let fit =
     Fom_util.Fit.power_law
       (Array.of_list (List.map (fun p -> (float_of_int p.window, p.ipc)) points))
   in
   { points; fit }
+
+let measure_source ?pool ?windows ?(n = 30_000) ?latencies ?issue_limit source =
+  let windows = match windows with Some w -> w | None -> default_windows in
+  check_windows windows;
+  (* The kernel fetches up to a window beyond the [n] it issues, so
+     the packing carries the largest window of margin — replay is then
+     exact for every sweep point, never wrapping. *)
+  let max_window = List.fold_left Stdlib.max 1 windows in
+  let packed = Fom_trace.Packed.of_source source ~n:(n + max_window) in
+  measure_packed ?pool ~windows ~n ?latencies ?issue_limit packed
 
 let measure ?pool ?windows ?n ?latencies ?issue_limit program =
   measure_source ?pool ?windows ?n ?latencies ?issue_limit

@@ -19,20 +19,30 @@ val measure :
     {!default_windows}, 30_000 instructions per point, unit latencies,
     unbounded issue — the implementation-independent curve.
 
-    [?pool] measures the window points in parallel (one task per
-    window). The trace is materialized once and replayed read-only by
-    every task, so the points — and therefore the fit — are
-    bit-identical to a sequential measurement; a [jobs = 1] pool takes
-    exactly the sequential path. *)
+    Every sweep runs the event-driven {!Iw_sim.ipc_of_packed} kernel
+    over a trace packed once ({!Fom_trace.Packed}) and shared by all
+    points. [?pool] measures the window points in parallel (one task
+    per window) over that same immutable packing, so the points — and
+    therefore the fit — are bit-identical to a sequential measurement;
+    a [jobs = 1] pool takes exactly the sequential path. *)
 
 val measure_source :
   ?pool:Fom_exec.Pool.t -> ?windows:int list -> ?n:int ->
   ?latencies:Fom_isa.Latency.t ->
   ?issue_limit:int -> Fom_trace.Source.t -> t
-(** {!measure} over any replayable source. With [?pool] the source's
-    factory is invoked exactly once (to materialize the trace), which
-    also makes parallel measurement safe for non-reentrant
+(** {!measure} over any replayable source. The source's factory is
+    invoked exactly once (to pack the trace), which also makes
+    parallel measurement safe for non-reentrant
     {!Fom_trace.Source.of_factory} sources. *)
+
+val measure_packed :
+  ?pool:Fom_exec.Pool.t -> ?windows:int list -> ?n:int ->
+  ?latencies:Fom_isa.Latency.t ->
+  ?issue_limit:int -> Fom_trace.Packed.t -> t
+(** {!measure} over an already-packed trace (no packing cost; callers
+    sharing one packing across analyses use this). The packing must
+    hold at least [n] plus the largest window instructions
+    ([FOM-I033]). *)
 
 val alpha : t -> float
 val beta : t -> float

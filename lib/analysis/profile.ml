@@ -100,14 +100,8 @@ let run_source ?(cache = Hierarchy.baseline) ?(predictor = Predictor.default_spe
   let hierarchy = Hierarchy.create cache in
   let pred = Predictor.create predictor in
   let next_instr = Fom_trace.Source.fresh source in
-  let counts = Array.make (List.length Opclass.all) 0 in
-  let class_slot cls =
-    let rec find k = function
-      | [] -> Fom_check.Checker.internal_error "instruction class missing from Opclass.all"
-      | c :: rest -> if Opclass.equal c cls then k else find (k + 1) rest
-    in
-    find 0 Opclass.all
-  in
+  let counts = Array.make Opclass.count 0 in
+  let class_slot = Opclass.to_int in
   let latency_sum = ref 0.0 in
   let branches = ref 0 in
   let mispredictions = ref 0 in

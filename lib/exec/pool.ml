@@ -14,9 +14,11 @@ type t = {
   mutable workers : unit Domain.t list;
 }
 
+let recommended_domain_count () = Domain.recommended_domain_count ()
+
 let default_jobs () =
   match Sys.getenv_opt "FOM_JOBS" with
-  | None -> Domain.recommended_domain_count ()
+  | None -> recommended_domain_count ()
   | Some s -> (
       match int_of_string_opt (String.trim s) with
       | Some jobs when jobs >= 1 -> jobs
@@ -24,6 +26,27 @@ let default_jobs () =
           Checker.ensure ~code:"FOM-E001" ~path:"exec.FOM_JOBS" false
             "FOM_JOBS must be a positive integer";
           1)
+
+let resolve_jobs ?requested () =
+  match requested with
+  | None -> (default_jobs (), [])
+  | Some jobs ->
+      Checker.ensure ~code:"FOM-E001" ~path:"exec.jobs" (jobs >= 1)
+        "worker count must be at least 1";
+      let recommended = recommended_domain_count () in
+      let warnings =
+        if jobs > recommended then
+          [
+            Diagnostic.make ~severity:Diagnostic.Warning ~code:"FOM-E004"
+              ~path:"exec.jobs"
+              (Printf.sprintf
+                 "%d worker domains oversubscribe this machine (%d recommended); the \
+                  sweep stays deterministic but expect no further speedup"
+                 jobs recommended);
+          ]
+        else []
+      in
+      (jobs, warnings)
 
 let rec worker_loop t =
   Mutex.lock t.mutex;

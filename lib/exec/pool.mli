@@ -26,17 +26,34 @@
     Diagnostic codes ([FOM-Exxx], "execution"):
     - [FOM-E001] — invalid job count (flag, [FOM_JOBS], or [create])
     - [FOM-E002] — a task raised a non-diagnostic exception
-    - [FOM-E003] — the pool was used after {!shutdown} *)
+    - [FOM-E003] — the pool was used after {!shutdown}
+    - [FOM-E004] — an explicit job count oversubscribes the machine
+      (warning, from {!resolve_jobs}) *)
 
 type t
 (** A pool of worker domains. The creating domain participates in
     every {!map}, so a pool of [jobs = n] spawns [n - 1] domains and a
     [jobs = 1] pool spawns none and runs everything inline. *)
 
+val recommended_domain_count : unit -> int
+(** The runtime's recommended domain count — the point past which more
+    workers stop helping. On a single-core machine this is [1], and
+    harnesses that default through {!resolve_jobs} run sequentially. *)
+
 val default_jobs : unit -> int
 (** The [FOM_JOBS] environment variable if set (a positive integer,
     else a [FOM-E001] diagnostic is raised), otherwise
-    [Domain.recommended_domain_count ()]. *)
+    {!recommended_domain_count}. *)
+
+val resolve_jobs : ?requested:int -> unit -> int * Fom_check.Diagnostic.t list
+(** Resolve a harness's worker count. With no [?requested] value this
+    is {!default_jobs} — in particular, sequential when the machine
+    recommends a single domain and [FOM_JOBS] is unset. An explicit
+    [?requested] count wins (it must be positive — [FOM-E001]
+    otherwise), but when it exceeds {!recommended_domain_count} a
+    [FOM-E004] {e warning} diagnostic is returned alongside it:
+    oversubscription never changes results (the pool is deterministic),
+    it only wastes scheduling. *)
 
 val create : ?jobs:int -> unit -> t
 (** [create ~jobs ()] starts a pool of [jobs] workers (default

@@ -35,6 +35,9 @@ let of_class t = function
   | Opclass.Branch -> t.branch
   | Opclass.Jump -> t.jump
 
+let table t =
+  Array.init Opclass.count (fun tag -> of_class t (Opclass.of_int tag))
+
 let average t weight =
   List.fold_left
     (fun acc cls -> acc +. (weight cls *. float_of_int (of_class t cls)))

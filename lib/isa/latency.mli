@@ -29,6 +29,11 @@ val diagnostics : t -> Fom_check.Diagnostic.t list
 val of_class : t -> Opclass.t -> int
 (** Latency of a class under this profile. *)
 
+val table : t -> int array
+(** The profile as a dense array indexed by {!Opclass.to_int} — the
+    per-class latency table the simulation kernels index with an
+    instruction's packed class tag. *)
+
 val average : t -> (Opclass.t -> float) -> float
 (** [average t weight] is the mix-weighted mean latency given a weight
     (fraction of dynamic instructions) per class. This is the [L] of the

@@ -17,6 +17,18 @@ type t =
 val all : t list
 (** Every class, in declaration order. *)
 
+val count : int
+(** [List.length all]; the size of a dense per-class table. *)
+
+val to_int : t -> int
+(** Dense tag in [[0, count)], following the declaration order of
+    {!all}. Hot paths index per-class arrays with this instead of
+    walking association lists. *)
+
+val of_int : int -> t
+(** Inverse of {!to_int}. Raises the internal [FOM-X001] diagnostic
+    on an out-of-range tag. *)
+
 val is_memory : t -> bool
 (** Loads and stores. *)
 

@@ -1,0 +1,121 @@
+module Instr = Fom_isa.Instr
+module Opclass = Fom_isa.Opclass
+module Reg = Fom_isa.Reg
+
+type t = {
+  label : string;
+  len : int;
+  tag : int array;
+  pc : int array;
+  dst : int array;
+  srcs : int array;
+  dep_off : int array;
+  dep_val : int array;
+  mem : int array;
+  ctrl : int array;
+}
+
+let label t = t.label
+let length t = t.len
+
+(* Source registers pack into one word: bits 0-1 the count, then one
+   {!Reg.to_int} (< 32, so 8 bits are plenty) per slot. *)
+let pack_srcs srcs =
+  match srcs with
+  | [] -> 0
+  | [ a ] -> 1 lor (Reg.to_int a lsl 2)
+  | [ a; b ] -> 2 lor (Reg.to_int a lsl 2) lor (Reg.to_int b lsl 10)
+  | _ ->
+      (* Instr.make enforces at most two sources. *)
+      Fom_check.Checker.internal_error "instruction with more than two source registers"
+
+let unpack_srcs word =
+  match word land 3 with
+  | 0 -> []
+  | 1 -> [ Reg.of_int ((word lsr 2) land 0xff) ]
+  | 2 -> [ Reg.of_int ((word lsr 2) land 0xff); Reg.of_int ((word lsr 10) land 0xff) ]
+  | _ -> Fom_check.Checker.internal_error "corrupt packed source-register word"
+
+let of_source ?label source ~n =
+  let ensure = Fom_check.Checker.ensure ~code:"FOM-T130" in
+  ensure ~path:"packed.n" (n > 0) "packed trace length must be positive";
+  let label = match label with Some l -> l | None -> Source.label source in
+  let next = Source.fresh source in
+  let tag = Array.make n 0 in
+  let pc = Array.make n 0 in
+  let dst = Array.make n (-1) in
+  let srcs = Array.make n 0 in
+  let dep_off = Array.make (n + 1) 0 in
+  let deps = Fom_util.Int_buffer.create ~capacity:(2 * n) () in
+  let mem = Array.make n (-1) in
+  let ctrl = Array.make n (-1) in
+  for i = 0 to n - 1 do
+    let ins = next () in
+    ensure ~path:"packed.of_source" (ins.Instr.index = i)
+      "source must replay instructions in dynamic index order";
+    tag.(i) <- Opclass.to_int ins.Instr.opclass;
+    pc.(i) <- ins.Instr.pc;
+    (match ins.Instr.dst with Some d -> dst.(i) <- Reg.to_int d | None -> ());
+    srcs.(i) <- pack_srcs ins.Instr.srcs;
+    Array.iter (fun d -> Fom_util.Int_buffer.push deps d) ins.Instr.deps;
+    dep_off.(i + 1) <- Fom_util.Int_buffer.length deps;
+    (match ins.Instr.mem with
+    | Some addr ->
+        ensure ~path:"packed.of_source" (addr >= 0) "memory addresses must be non-negative";
+        mem.(i) <- addr
+    | None -> ());
+    match ins.Instr.ctrl with
+    | Some c ->
+        ensure ~path:"packed.of_source" (c.Instr.target >= 0)
+          "control targets must be non-negative";
+        ctrl.(i) <- (c.Instr.target lsl 1) lor Bool.to_int c.Instr.taken
+    | None -> ()
+  done;
+  {
+    label;
+    len = n;
+    tag;
+    pc;
+    dst;
+    srcs;
+    dep_off;
+    dep_val = Fom_util.Int_buffer.contents deps;
+    mem;
+    ctrl;
+  }
+
+(* Decode one instruction. Fields were validated instruction-by-
+   instruction when the trace was packed, so the record is built
+   directly rather than through [Instr.make] — this runs once per
+   replayed instruction on the simulators' fetch paths. Past the end
+   the trace wraps with re-based indices and dependences, mirroring
+   {!Source.of_instrs}. *)
+let instr t i =
+  Fom_check.Checker.ensure ~code:"FOM-T131" ~path:"packed.instr" (i >= 0)
+    "dynamic index must be non-negative";
+  let off = i mod t.len in
+  let rebase = i - off in
+  let lo = t.dep_off.(off) and hi = t.dep_off.(off + 1) in
+  {
+    Instr.index = i;
+    pc = t.pc.(off);
+    opclass = Opclass.of_int t.tag.(off);
+    dst = (if t.dst.(off) < 0 then None else Some (Reg.of_int t.dst.(off)));
+    srcs = unpack_srcs t.srcs.(off);
+    deps = Array.init (hi - lo) (fun k -> t.dep_val.(lo + k) + rebase);
+    mem = (if t.mem.(off) < 0 then None else Some t.mem.(off));
+    ctrl =
+      (if t.ctrl.(off) < 0 then None
+       else Some { Instr.target = t.ctrl.(off) lsr 1; taken = t.ctrl.(off) land 1 = 1 });
+  }
+
+let to_source ?(wrap = true) t =
+  Source.of_factory ~label:t.label (fun () ->
+      let position = ref 0 in
+      fun () ->
+        let i = !position in
+        incr position;
+        if (not wrap) && i >= t.len then
+          Fom_check.Checker.ensure ~code:"FOM-T132" ~path:"packed.to_source" false
+            "replay ran past the end of a non-wrapping packed trace";
+        instr t i)

@@ -29,6 +29,23 @@ let baseline =
     clusters = 1;
   }
 
+(* Completion bookkeeping in {!Machine} is ring-buffered by dynamic
+   instruction index. Everything in flight — ROB residents plus the
+   front-end pipe — must map to distinct slots, or completion lookups
+   silently alias; the ring is therefore sized from the configuration
+   (next power of two past the worst-case span), and configurations
+   whose span would need an absurd ring are rejected outright. *)
+let max_comp_ring_bits = 24
+
+let inflight_span t = t.rob_size + (t.width * t.pipeline_depth) + t.fetch_buffer + 4
+
+let comp_ring_bits t =
+  let span = inflight_span t in
+  let rec fit b = if 1 lsl b > span || b >= max_comp_ring_bits then b else fit (b + 1) in
+  fit 8
+
+let comp_ring_size t = 1 lsl comp_ring_bits t
+
 let check t =
   let module C = Fom_check.Checker in
   let structural =
@@ -42,6 +59,13 @@ let check t =
           (Printf.sprintf "window_size (%d) must not exceed rob_size (%d)" t.window_size
              t.rob_size);
         C.min_int ~code:"FOM-M005" ~path:"machine.fetch_buffer" ~min:0 t.fetch_buffer;
+        C.check ~code:"FOM-I032" ~path:"machine.rob_size"
+          (inflight_span t < 1 lsl max_comp_ring_bits)
+          (Printf.sprintf
+             "in-flight span of %d (rob_size + width * pipeline_depth + fetch_buffer) \
+              exceeds the largest supported completion ring (2^%d entries); completion \
+              lookups would silently alias"
+             (inflight_span t) max_comp_ring_bits);
         C.min_int ~code:"FOM-M006" ~path:"machine.clusters" ~min:1 t.clusters;
         (if t.clusters >= 1 then
            C.all

@@ -37,9 +37,29 @@ val baseline : t
 val check : t -> Fom_check.Diagnostic.t list
 (** All diagnostics for the configuration: structural sanity
     ([FOM-M001]..[FOM-M008] — positive sizes, window <= ROB, clusters
-    dividing width and window) plus the component checks (latencies,
-    functional units, predictor, cache hierarchy, optional TLB).
-    Empty list = valid. *)
+    dividing width and window; [FOM-I032] — the in-flight span must
+    fit the largest supported completion ring, see {!comp_ring_bits})
+    plus the component checks (latencies, functional units, predictor,
+    cache hierarchy, optional TLB). Empty list = valid. *)
+
+val max_comp_ring_bits : int
+(** Upper bound on {!comp_ring_bits}: configurations whose in-flight
+    span needs more are rejected by {!check} with [FOM-I032] instead
+    of silently aliasing completion lookups. *)
+
+val inflight_span : t -> int
+(** Worst-case spread of in-flight dynamic indices: ROB residents plus
+    the front-end pipe ([rob_size + width * pipeline_depth +
+    fetch_buffer], with a small safety margin). *)
+
+val comp_ring_bits : t -> int
+(** log2 size of the completion-tracking ring {!Machine} allocates for
+    this configuration — the smallest power of two strictly above
+    {!inflight_span}, so in-flight instructions always map to distinct
+    slots. *)
+
+val comp_ring_size : t -> int
+(** [1 lsl comp_ring_bits t]. *)
 
 val validate : t -> unit
 (** @raise Fom_check.Checker.Invalid if {!check} reports any error. *)

@@ -6,41 +6,82 @@ module Predictor = Fom_branch.Predictor
 
 exception Cycle_limit_exceeded
 
+type kernel = Scan | Event
+
+(* The machine's working view of one in-flight instruction: plain
+   immediate fields only, decoded once at fetch. [deps] is a shared
+   backing array ([dep_lo], [dep_n] delimit this instruction's slice):
+   the instruction's own array for a thunk feed, the packed trace's
+   CSR column for a packed feed — so a packed-fed simulation allocates
+   exactly one small record per instruction, nothing else. *)
 type inflight = {
-  instr : Instr.t;
+  index : int;
+  pc : int;
+  op : Opclass.t;
+  mem : int;  (* effective address, -1 for non-memory ops *)
+  taken : bool;  (* conditional-branch direction *)
+  deps : int array;
+  dep_lo : int;
+  dep_n : int;
   mutable issue_time : int;  (* -1 until issued *)
   mutable complete_time : int;  (* max_int until issued *)
   mutable cluster : int;  (* assigned at dispatch *)
 }
 
+(* Where fetched instructions come from: a pull thunk materializing
+   {!Fom_isa.Instr.t} values, or packed columns read in place. *)
+type feed =
+  | Thunk of (unit -> Instr.t)
+  | Packed of { packed : Fom_trace.Packed.t; mutable pos : int }
+
 (* Completion-time ring: complete_time of recently issued instructions,
-   keyed by dynamic index. The span of in-flight instructions is at
-   most ROB + front end, far below the ring size, so an entry is valid
-   exactly when its stored index matches. *)
-let comp_ring_bits = 13
-let comp_ring_size = 1 lsl comp_ring_bits
-let comp_ring_mask = comp_ring_size - 1
+   keyed by dynamic index. The ring is sized per configuration
+   ({!Config.comp_ring_bits}) so the span of in-flight instructions —
+   ROB plus front end — always maps to distinct slots; an entry is
+   valid exactly when its stored index matches. The same slot keying
+   serves the event kernel's wakeup structures. *)
+
+(* Calendar buckets for the event kernel. Wakeups land at most the
+   longest issue latency ahead; waits beyond the ring (a long miss
+   under an extreme memory latency) re-book when their bucket drains. *)
+let calendar_size = 1024
+
+let calendar_mask = calendar_size - 1
 
 type t = {
   config : Config.t;
-  next_instr : unit -> Instr.t;
+  kernel : kernel;
+  feed : feed;
   (* completion tracking *)
+  comp_mask : int;
   comp_idx : int array;
   comp_time : int array;
   comp_cluster : int array;
   mutable last_retired : int;  (* highest retired dynamic index *)
-  (* front end *)
-  pipe : (inflight * int) Queue.t;  (* instruction, dispatchable-at cycle *)
-  mutable pending : Instr.t option;  (* fetched but stalled on an I-miss *)
+  (* front end: a preallocated ring of (instruction, dispatchable-at) *)
+  pipe_f : inflight option array;
+  pipe_at : int array;
+  mutable pipe_head : int;
+  mutable pipe_count : int;
+  mutable pending : inflight option;  (* fetched but stalled on an I-miss *)
   mutable fetch_stall_until : int;
   mutable blocking_branch : inflight option;
   mutable last_line : int;
-  (* window: age-ordered dense array *)
+  (* window: age-ordered dense array (Scan kernel only) *)
   window : inflight option array;
   mutable win_count : int;
   cluster_counts : int array;  (* window occupancy per cluster *)
   cluster_issued : int array;  (* issues this cycle per cluster *)
   mutable next_cluster : int;  (* round-robin dispatch steering *)
+  (* event kernel wakeup structures, all keyed by index land comp_mask *)
+  unissued : inflight option array;  (* dispatched, not yet issued *)
+  ready_at : int array;  (* earliest-issue lower bound *)
+  chain_next : int array;  (* link through waiter and calendar chains *)
+  waiter_head : int array;  (* producer slot -> first parked consumer *)
+  calendar : int array;  (* bucket -> chain of instructions waking *)
+  heap : int array;  (* min-heap of ready indices = age order *)
+  mutable heap_len : int;
+  stash : int array;  (* ready but budget-blocked this cycle *)
   (* rob: circular *)
   rob : inflight option array;
   mutable rob_head : int;
@@ -58,8 +99,8 @@ type t = {
   (* optional per-cycle recording *)
   mutable recording : bool;
   mutable issued_this_cycle : int;
-  mutable issue_record : int list;  (* reversed *)
-  mutable resolve_record : int list;  (* reversed *)
+  issue_record : Fom_util.Int_buffer.t;
+  resolve_record : Fom_util.Int_buffer.t;
   (* statistics *)
   mutable short_load_misses : int;
   mutable long_load_misses : int;
@@ -73,25 +114,45 @@ type t = {
   mutable occupancy_rob_sum : int;
 }
 
-let create config next_instr =
+let create_feed ?(kernel = Event) config feed =
   Config.validate config;
+  let ring = Config.comp_ring_size config in
+  let pipe_capacity =
+    (config.Config.width * config.Config.pipeline_depth) + config.Config.fetch_buffer
+  in
+  (* Each kernel allocates only its own machinery: the scan kernel the
+     age-ordered window array, the event kernel the wakeup tables. *)
+  let scan = kernel = Scan in
   {
     config;
-    next_instr;
-    comp_idx = Array.make comp_ring_size (-1);
-    comp_time = Array.make comp_ring_size 0;
-    comp_cluster = Array.make comp_ring_size 0;
+    kernel;
+    feed;
+    comp_mask = ring - 1;
+    comp_idx = Array.make ring (-1);
+    comp_time = Array.make ring 0;
+    comp_cluster = Array.make ring 0;
     last_retired = -1;
-    pipe = Queue.create ();
+    pipe_f = Array.make pipe_capacity None;
+    pipe_at = Array.make pipe_capacity 0;
+    pipe_head = 0;
+    pipe_count = 0;
     pending = None;
     fetch_stall_until = 0;
     blocking_branch = None;
     last_line = -1;
-    window = Array.make config.Config.window_size None;
+    window = Array.make (if scan then config.Config.window_size else 1) None;
     win_count = 0;
     cluster_counts = Array.make config.Config.clusters 0;
     cluster_issued = Array.make config.Config.clusters 0;
     next_cluster = 0;
+    unissued = Array.make (if scan then 1 else ring) None;
+    ready_at = Array.make (if scan then 1 else ring) 0;
+    chain_next = Array.make (if scan then 1 else ring) (-1);
+    waiter_head = Array.make (if scan then 1 else ring) (-1);
+    calendar = Array.make (if scan then 1 else calendar_size) (-1);
+    heap = Array.make (if scan then 1 else config.Config.window_size) 0;
+    heap_len = 0;
+    stash = Array.make (if scan then 1 else config.Config.window_size) 0;
     rob = Array.make config.Config.rob_size None;
     rob_head = 0;
     rob_count = 0;
@@ -99,13 +160,13 @@ let create config next_instr =
     predictor = Predictor.create config.Config.predictor;
     dtlb = Option.map Fom_cache.Tlb.create config.Config.dtlb;
     long_miss_completions = Queue.create ();
-    fu_busy = Array.make (List.length Opclass.all) 0;
+    fu_busy = Array.make Opclass.count 0;
     cycle = 0;
     retired = 0;
     recording = false;
     issued_this_cycle = 0;
-    issue_record = [];
-    resolve_record = [];
+    issue_record = Fom_util.Int_buffer.create ();
+    resolve_record = Fom_util.Int_buffer.create ();
     short_load_misses = 0;
     long_load_misses = 0;
     dtlb_misses = 0;
@@ -118,27 +179,76 @@ let create config next_instr =
     occupancy_rob_sum = 0;
   }
 
+let create ?kernel config next_instr = create_feed ?kernel config (Thunk next_instr)
+
+let create_packed ?kernel config packed =
+  create_feed ?kernel config (Packed { packed; pos = 0 })
+
+(* Decode the next instruction into an in-flight record. The packed
+   path reads the columns in place: no [Instr.t], no dependence-array
+   copy. Both paths decode identical field values, so the simulated
+   machine is bit-identical either way. *)
+let next_inflight t =
+  match t.feed with
+  | Thunk next ->
+      let i = next () in
+      {
+        index = i.Instr.index;
+        pc = i.Instr.pc;
+        op = i.Instr.opclass;
+        mem = (match i.Instr.mem with Some addr -> addr | None -> -1);
+        taken = (match i.Instr.ctrl with Some c -> c.Instr.taken | None -> false);
+        deps = i.Instr.deps;
+        dep_lo = 0;
+        dep_n = Array.length i.Instr.deps;
+        issue_time = -1;
+        complete_time = max_int;
+        cluster = 0;
+      }
+  | Packed p ->
+      let packed = p.packed in
+      let i = p.pos in
+      Fom_check.Checker.ensure ~code:"FOM-T132" ~path:"machine.feed"
+        (i < packed.Fom_trace.Packed.len)
+        "packed trace exhausted before the run retired its target";
+      p.pos <- i + 1;
+      let ctrl = packed.Fom_trace.Packed.ctrl.(i) in
+      let dep_lo = packed.Fom_trace.Packed.dep_off.(i) in
+      {
+        index = i;
+        pc = packed.Fom_trace.Packed.pc.(i);
+        op = Opclass.of_int packed.Fom_trace.Packed.tag.(i);
+        mem = packed.Fom_trace.Packed.mem.(i);
+        taken = ctrl >= 0 && ctrl land 1 = 1;
+        deps = packed.Fom_trace.Packed.dep_val;
+        dep_lo;
+        dep_n = packed.Fom_trace.Packed.dep_off.(i + 1) - dep_lo;
+        issue_time = -1;
+        complete_time = max_int;
+        cluster = 0;
+      }
+
 (* A value produced in another cluster needs one extra bypass cycle
    (ancient producers are long past any bypass network). *)
 let dep_complete t ~cluster d =
   d <= t.last_retired
   ||
-  let slot = d land comp_ring_mask in
+  let slot = d land t.comp_mask in
   t.comp_idx.(slot) = d
   &&
   let bypass = if t.comp_cluster.(slot) = cluster then 0 else 1 in
   t.comp_time.(slot) + bypass <= t.cycle
 
 let deps_ready t (f : inflight) =
-  let deps = f.instr.Instr.deps in
+  let deps = f.deps in
   let cluster = f.cluster in
-  let rec check i =
-    i >= Array.length deps || (dep_complete t ~cluster deps.(i) && check (i + 1))
+  let rec check k =
+    k >= f.dep_n || (dep_complete t ~cluster deps.(f.dep_lo + k) && check (k + 1))
   in
   check 0
 
 let record_completion t index time ~cluster =
-  let slot = index land comp_ring_mask in
+  let slot = index land t.comp_mask in
   t.comp_idx.(slot) <- index;
   t.comp_time.(slot) <- time;
   t.comp_cluster.(slot) <- cluster
@@ -162,7 +272,7 @@ let retire t =
         t.rob.(t.rob_head) <- None;
         t.rob_head <- (t.rob_head + 1) mod rob_size;
         t.rob_count <- t.rob_count - 1;
-        t.last_retired <- f.instr.Instr.index;
+        t.last_retired <- f.index;
         t.retired <- t.retired + 1;
         decr budget
     | Some _ -> continue_ := false
@@ -184,10 +294,10 @@ let translate ?(count = true) t addr =
       end
 
 let issue_latency t (f : inflight) =
-  let lat = Latency.of_class t.config.Config.latencies f.instr.Instr.opclass in
-  match f.instr.Instr.opclass with
+  let lat = Latency.of_class t.config.Config.latencies f.op in
+  match f.op with
   | Opclass.Load ->
-      let addr = Instr.mem_exn f.instr in
+      let addr = f.mem in
       let walk = translate t addr in
       let outcome = Hierarchy.access_data t.hierarchy addr in
       let cache_lat = Hierarchy.data_latency t.hierarchy outcome in
@@ -200,7 +310,7 @@ let issue_latency t (f : inflight) =
         (match t.rob.(t.rob_head) with
         | Some head ->
             Fom_util.Stats.Acc.add t.rob_ahead_of_long_miss
-              (float_of_int (f.instr.Instr.index - head.instr.Instr.index))
+              (float_of_int (f.index - head.index))
         | None -> ());
         walk + cache_lat
       end
@@ -209,22 +319,34 @@ let issue_latency t (f : inflight) =
       (* Stores update the TLB and cache for residency but never
          block: a write buffer absorbs them (the paper models
          data-cache penalties through loads only). *)
-      let addr = Instr.mem_exn f.instr in
+      let addr = f.mem in
       ignore (translate ~count:false t addr);
       ignore (Hierarchy.access_data t.hierarchy addr);
       lat
   | Opclass.Alu | Opclass.Mul | Opclass.Div | Opclass.Branch | Opclass.Jump -> lat
 
-let class_slot =
-  let slots = List.mapi (fun i c -> (c, i)) Opclass.all in
-  fun cls -> List.assq cls slots
+let class_slot = Opclass.to_int
 
 let fu_available t (f : inflight) =
   Fom_isa.Fu_set.is_unbounded t.config.Config.fu_limits
-  || t.fu_busy.(class_slot f.instr.Instr.opclass)
-     < Fom_isa.Fu_set.of_class t.config.Config.fu_limits f.instr.Instr.opclass
+  || t.fu_busy.(class_slot f.op) < Fom_isa.Fu_set.of_class t.config.Config.fu_limits f.op
 
-let issue t =
+(* The bookkeeping shared by both kernels when instruction [f] issues
+   this cycle; [issued_before] is how many issued earlier this cycle. *)
+let issue_instr t (f : inflight) ~issued_before =
+  t.fu_busy.(class_slot f.op) <- t.fu_busy.(class_slot f.op) + 1;
+  t.cluster_issued.(f.cluster) <- t.cluster_issued.(f.cluster) + 1;
+  t.cluster_counts.(f.cluster) <- t.cluster_counts.(f.cluster) - 1;
+  f.issue_time <- t.cycle;
+  f.complete_time <- t.cycle + issue_latency t f;
+  record_completion t f.index f.complete_time ~cluster:f.cluster;
+  match t.blocking_branch with
+  | Some b when b == f ->
+      Fom_util.Stats.Acc.add t.window_at_branch_issue
+        (float_of_int (t.win_count - issued_before - 1))
+  | Some _ | None -> ()
+
+let issue_scan t =
   let width = t.config.Config.width in
   let clusters = t.config.Config.clusters in
   let cluster_width = width / clusters in
@@ -241,18 +363,7 @@ let issue t =
           (unbounded || (!issued < width && t.cluster_issued.(f.cluster) < cluster_width))
           && fu_available t f && deps_ready t f
         then begin
-          t.fu_busy.(class_slot f.instr.Instr.opclass) <-
-            t.fu_busy.(class_slot f.instr.Instr.opclass) + 1;
-          t.cluster_issued.(f.cluster) <- t.cluster_issued.(f.cluster) + 1;
-          t.cluster_counts.(f.cluster) <- t.cluster_counts.(f.cluster) - 1;
-          f.issue_time <- t.cycle;
-          f.complete_time <- t.cycle + issue_latency t f;
-          record_completion t f.instr.Instr.index f.complete_time ~cluster:f.cluster;
-          (match t.blocking_branch with
-          | Some b when b == f ->
-              Fom_util.Stats.Acc.add t.window_at_branch_issue
-                (float_of_int (t.win_count - !issued - 1))
-          | Some _ | None -> ());
+          issue_instr t f ~issued_before:!issued;
           incr issued
         end
         else begin
@@ -267,6 +378,160 @@ let issue t =
   t.win_count <- !kept;
   t.issued_this_cycle <- !issued
 
+(* --- event kernel --- *)
+
+let heap_push t v =
+  if t.heap_len >= Array.length t.heap then
+    Fom_check.Checker.internal_error "ready-heap overflow";
+  let heap = t.heap in
+  let k = ref t.heap_len in
+  t.heap_len <- t.heap_len + 1;
+  heap.(!k) <- v;
+  let sifting = ref true in
+  while !sifting && !k > 0 do
+    let parent = (!k - 1) / 2 in
+    if heap.(parent) > heap.(!k) then begin
+      let tmp = heap.(parent) in
+      heap.(parent) <- heap.(!k);
+      heap.(!k) <- tmp;
+      k := parent
+    end
+    else sifting := false
+  done
+
+let heap_pop t =
+  let heap = t.heap in
+  let top = heap.(0) in
+  t.heap_len <- t.heap_len - 1;
+  heap.(0) <- heap.(t.heap_len);
+  let k = ref 0 in
+  let sifting = ref true in
+  while !sifting do
+    let l = (2 * !k) + 1 and r = (2 * !k) + 2 in
+    let s = ref !k in
+    if l < t.heap_len && heap.(l) < heap.(!s) then s := l;
+    if r < t.heap_len && heap.(r) < heap.(!s) then s := r;
+    if !s <> !k then begin
+      let tmp = heap.(!s) in
+      heap.(!s) <- heap.(!k);
+      heap.(!k) <- tmp;
+      k := !s
+    end
+    else sifting := false
+  done;
+  top
+
+let book_wakeup t idx ~at =
+  let slot = idx land t.comp_mask in
+  (* Waits past the calendar horizon re-book when the clamped bucket
+     drains ([ready_at] keeps the true cycle). *)
+  let target = if at - t.cycle >= calendar_size then t.cycle + calendar_size - 1 else at in
+  let b = target land calendar_mask in
+  t.chain_next.(slot) <- t.calendar.(b);
+  t.calendar.(b) <- idx
+
+(* Park a dispatched, unissued instruction on the wakeup structures:
+   chained on one still-unissued producer (its issue event re-parks
+   us), or booked in the calendar for the cycle its last producer's
+   value completes — never before [floor]. The booked cycle is a lower
+   bound, not the exact issue cycle: retirement can waive a
+   cross-cluster bypass and a bypass can push one cycle past it, so
+   [issue_event] re-evaluates [deps_ready] exactly when the
+   instruction surfaces. *)
+let place t (f : inflight) ~floor =
+  let idx = f.index in
+  let deps = f.deps in
+  let rec scan k lower =
+    if k >= f.dep_n then begin
+      let at = if lower < floor then floor else lower in
+      t.ready_at.(idx land t.comp_mask) <- at;
+      if at <= t.cycle then heap_push t idx else book_wakeup t idx ~at
+    end
+    else
+      let d = deps.(f.dep_lo + k) in
+      if d <= t.last_retired then scan (k + 1) lower
+      else
+        let dslot = d land t.comp_mask in
+        if t.comp_idx.(dslot) = d then
+          scan (k + 1) (Stdlib.max lower t.comp_time.(dslot))
+        else begin
+          (* The producer has not issued: wait for its issue event. *)
+          t.chain_next.(idx land t.comp_mask) <- t.waiter_head.(dslot);
+          t.waiter_head.(dslot) <- idx
+        end
+  in
+  scan 0 0
+
+let unissued_exn t idx =
+  match t.unissued.(idx land t.comp_mask) with
+  | Some f when f.index = idx -> f
+  | Some _ | None ->
+      Fom_check.Checker.internal_error "woken instruction missing from unissued table"
+
+let issue_event t =
+  let width = t.config.Config.width in
+  let clusters = t.config.Config.clusters in
+  let cluster_width = width / clusters in
+  let unbounded = t.config.Config.unbounded_issue in
+  Array.fill t.fu_busy 0 (Array.length t.fu_busy) 0;
+  Array.fill t.cluster_issued 0 clusters 0;
+  (* Wake this cycle's calendar bucket into the ready heap. *)
+  let bucket = t.cycle land calendar_mask in
+  let woken = ref t.calendar.(bucket) in
+  t.calendar.(bucket) <- -1;
+  while !woken >= 0 do
+    let idx = !woken in
+    woken := t.chain_next.(idx land t.comp_mask);
+    let at = t.ready_at.(idx land t.comp_mask) in
+    if at <= t.cycle then heap_push t idx else book_wakeup t idx ~at
+  done;
+  (* Issue oldest-first up to the width limit. A popped instruction
+     whose exact readiness check fails re-parks (at most one extra
+     wake, for a cross-cluster bypass); one blocked only by a cluster
+     or functional-unit budget stays ready in a stash so younger
+     instructions of other clusters and classes still get their scan
+     turn, exactly as the reference window scan skips over it. *)
+  let issued = ref 0 in
+  let stash_len = ref 0 in
+  let popping = ref true in
+  while !popping && t.heap_len > 0 do
+    if (not unbounded) && !issued >= width then popping := false
+    else begin
+      let idx = heap_pop t in
+      let f = unissued_exn t idx in
+      if not (deps_ready t f) then place t f ~floor:(t.cycle + 1)
+      else if
+          (unbounded || t.cluster_issued.(f.cluster) < cluster_width) && fu_available t f
+      then begin
+        t.unissued.(idx land t.comp_mask) <- None;
+        issue_instr t f ~issued_before:!issued;
+        incr issued;
+        (* Its value has a completion time now: re-park every consumer
+           waiting on this producer (their earliest cycle is past this
+           one, so none re-enters this cycle's heap). *)
+        let slot = idx land t.comp_mask in
+        let waiter = ref t.waiter_head.(slot) in
+        t.waiter_head.(slot) <- -1;
+        while !waiter >= 0 do
+          let w = !waiter in
+          waiter := t.chain_next.(w land t.comp_mask);
+          place t (unissued_exn t w) ~floor:(t.cycle + 1)
+        done
+      end
+      else begin
+        t.stash.(!stash_len) <- idx;
+        incr stash_len
+      end
+    end
+  done;
+  for k = 0 to !stash_len - 1 do
+    heap_push t t.stash.(k)
+  done;
+  t.win_count <- t.win_count - !issued;
+  t.issued_this_cycle <- !issued
+
+let issue t = match t.kernel with Scan -> issue_scan t | Event -> issue_event t
+
 let dispatch t =
   let width = t.config.Config.width in
   let rob_size = Array.length t.rob in
@@ -275,12 +540,18 @@ let dispatch t =
   while
     !continue_ && !budget > 0
     && t.win_count < t.config.Config.window_size
-    && t.rob_count < rob_size
-    && not (Queue.is_empty t.pipe)
+    && t.rob_count < rob_size && t.pipe_count > 0
   do
-    let f, ready_at = Queue.peek t.pipe in
-    if ready_at <= t.cycle then begin
-      ignore (Queue.pop t.pipe);
+    let head = t.pipe_head in
+    if t.pipe_at.(head) <= t.cycle then begin
+      let f =
+        match t.pipe_f.(head) with
+        | Some f -> f
+        | None -> Fom_check.Checker.internal_error "pipe head empty while pipe_count > 0"
+      in
+      t.pipe_f.(head) <- None;
+      t.pipe_head <- (head + 1) mod Array.length t.pipe_f;
+      t.pipe_count <- t.pipe_count - 1;
       (* Round-robin steering; a full cluster passes its turn. *)
       let clusters = t.config.Config.clusters in
       let cluster_capacity = t.config.Config.window_size / clusters in
@@ -300,7 +571,13 @@ let dispatch t =
       in
       f.cluster <- cluster;
       t.cluster_counts.(cluster) <- t.cluster_counts.(cluster) + 1;
-      t.window.(t.win_count) <- Some f;
+      (match t.kernel with
+      | Scan -> t.window.(t.win_count) <- Some f
+      | Event ->
+          (* Issue runs before dispatch each cycle, so a newly
+             dispatched instruction is first eligible next cycle. *)
+          t.unissued.(f.index land t.comp_mask) <- Some f;
+          place t f ~floor:(t.cycle + 1));
       t.win_count <- t.win_count + 1;
       let tail = (t.rob_head + t.rob_count) mod rob_size in
       t.rob.(tail) <- Some f;
@@ -319,13 +596,11 @@ let fetch t =
   (match t.blocking_branch with
   | Some b when b.complete_time <= t.cycle ->
       t.blocking_branch <- None;
-      if t.recording then t.resolve_record <- t.cycle :: t.resolve_record
+      if t.recording then Fom_util.Int_buffer.push t.resolve_record t.cycle
   | Some _ | None -> ());
   if t.blocking_branch = None && t.cycle >= t.fetch_stall_until then begin
     let width = t.config.Config.width in
-    let pipe_capacity =
-      (width * t.config.Config.pipeline_depth) + t.config.Config.fetch_buffer
-    in
+    let pipe_capacity = Array.length t.pipe_f in
     (* With a fetch buffer, fetch is line-based and bursty: it can run
        ahead of dispatch at up to twice the machine width while buffer
        space remains, which is what lets the buffer hide I-miss
@@ -333,19 +608,19 @@ let fetch t =
     let fetch_limit = if t.config.Config.fetch_buffer > 0 then 2 * width else width in
     let fetched = ref 0 in
     let stopped = ref false in
-    while (not !stopped) && !fetched < fetch_limit && Queue.length t.pipe < pipe_capacity do
-      let instr =
+    while (not !stopped) && !fetched < fetch_limit && t.pipe_count < pipe_capacity do
+      let f =
         match t.pending with
-        | Some i ->
+        | Some f ->
             t.pending <- None;
-            i
-        | None -> t.next_instr ()
+            f
+        | None -> next_inflight t
       in
-      let line = line_of t instr.Instr.pc in
+      let line = line_of t f.pc in
       let icache_ok =
         if line = t.last_line then true
         else begin
-          let outcome = Hierarchy.access_inst t.hierarchy instr.Instr.pc in
+          let outcome = Hierarchy.access_inst t.hierarchy f.pc in
           t.last_line <- line;
           match outcome with
           | Hierarchy.L1_hit -> true
@@ -353,7 +628,7 @@ let fetch t =
               if long_misses_outstanding t > 0 then
                 t.imiss_under_long <- t.imiss_under_long + 1;
               t.fetch_stall_until <- t.cycle + Hierarchy.inst_stall t.hierarchy outcome;
-              t.pending <- Some instr;
+              t.pending <- Some f;
               (* The line is now resident: do not re-probe when the
                  stalled instruction is finally fetched. *)
               false
@@ -361,12 +636,13 @@ let fetch t =
       in
       if not icache_ok then stopped := true
       else begin
-        let f = { instr; issue_time = -1; complete_time = max_int; cluster = 0 } in
-        Queue.push (f, t.cycle + t.config.Config.pipeline_depth) t.pipe;
+        let tail = (t.pipe_head + t.pipe_count) mod pipe_capacity in
+        t.pipe_f.(tail) <- Some f;
+        t.pipe_at.(tail) <- t.cycle + t.config.Config.pipeline_depth;
+        t.pipe_count <- t.pipe_count + 1;
         incr fetched;
-        if Instr.is_branch instr then begin
-          let taken = (Instr.ctrl_exn instr).Instr.taken in
-          let correct = Predictor.observe t.predictor ~pc:instr.Instr.pc ~taken in
+        if f.op = Opclass.Branch then begin
+          let correct = Predictor.observe t.predictor ~pc:f.pc ~taken:f.taken in
           if not correct then begin
             t.mispredictions <- t.mispredictions + 1;
             if long_misses_outstanding t > 0 then
@@ -384,7 +660,7 @@ let step t =
   issue t;
   dispatch t;
   fetch t;
-  if t.recording then t.issue_record <- t.issued_this_cycle :: t.issue_record;
+  if t.recording then Fom_util.Int_buffer.push t.issue_record t.issued_this_cycle;
   t.occupancy_window_sum <- t.occupancy_window_sum + t.win_count;
   t.occupancy_rob_sum <- t.occupancy_rob_sum + t.rob_count;
   t.cycle <- t.cycle + 1
@@ -419,10 +695,10 @@ let run ?cycle_limit t ~n =
 
 let run_recorded ?cycle_limit t ~n =
   t.recording <- true;
-  t.issue_record <- [];
-  t.resolve_record <- [];
+  Fom_util.Int_buffer.clear t.issue_record;
+  Fom_util.Int_buffer.clear t.resolve_record;
   let stats = run ?cycle_limit t ~n in
   t.recording <- false;
   ( stats,
-    Array.of_list (List.rev t.issue_record),
-    Array.of_list (List.rev t.resolve_record) )
+    Fom_util.Int_buffer.contents t.issue_record,
+    Fom_util.Int_buffer.contents t.resolve_record )

@@ -22,9 +22,30 @@
 
 type t
 
-val create : Config.t -> (unit -> Fom_isa.Instr.t) -> t
+type kernel =
+  | Scan  (** rescan the whole window every cycle — the reference *)
+  | Event  (** wakeup calendar + ready heap — the production kernel *)
+(** Two implementations of the issue stage compute identical machines.
+    [Scan] examines every window entry every cycle, in direct
+    correspondence with the modeled oldest-first scan. [Event] parks
+    each waiting instruction on its blocking producer or in a wakeup
+    calendar and touches only woken instructions each cycle —
+    O(instructions woken) instead of O(window) — and is property-tested
+    to produce statistics identical to [Scan] on every run. *)
+
+val create : ?kernel:kernel -> Config.t -> (unit -> Fom_isa.Instr.t) -> t
 (** [create config next] builds a machine pulling instructions from
-    [next] (typically [Fom_trace.Stream.next]). *)
+    [next] (typically [Fom_trace.Stream.next]). [kernel] selects the
+    issue-stage implementation (default [Event]). *)
+
+val create_packed : ?kernel:kernel -> Config.t -> Fom_trace.Packed.t -> t
+(** [create_packed config packed] builds a machine fed directly from a
+    packed trace's columns, starting at dynamic index 0. No
+    {!Fom_isa.Instr.t} is materialized per instruction, which removes
+    the replay path's allocation churn; the decoded fields are
+    identical to the thunk path's, so the simulated statistics are
+    bit-identical to [create] over the same trace. Raises [FOM-T132]
+    if the packing is exhausted before {!run} retires its target. *)
 
 exception Cycle_limit_exceeded
 (** Raised when the simulation exceeds its cycle budget — a deadlock

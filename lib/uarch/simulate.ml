@@ -1,8 +1,13 @@
-let run_source config source ~n =
-  let machine = Machine.create config (Fom_trace.Source.fresh source) in
+let run_source ?kernel config source ~n =
+  let machine = Machine.create ?kernel config (Fom_trace.Source.fresh source) in
   Machine.run machine ~n
 
-let run config program ~n = run_source config (Fom_trace.Source.of_program program) ~n
+let run_packed ?kernel config packed ~n =
+  let machine = Machine.create_packed ?kernel config packed in
+  Machine.run machine ~n
+
+let run ?kernel config program ~n =
+  run_source ?kernel config (Fom_trace.Source.of_program program) ~n
 
 let run_config config workload ~n = run config (Fom_trace.Program.generate workload) ~n
 

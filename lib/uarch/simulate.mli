@@ -1,13 +1,22 @@
 (** Convenience drivers over {!Machine}. *)
 
-val run : Config.t -> Fom_trace.Program.t -> n:int -> Stats.t
-(** Simulate [n] instructions of a fresh stream over the program. *)
+val run : ?kernel:Machine.kernel -> Config.t -> Fom_trace.Program.t -> n:int -> Stats.t
+(** Simulate [n] instructions of a fresh stream over the program.
+    [kernel] selects the issue-stage implementation (see
+    {!Machine.kernel}; default [Event]). *)
 
 val run_config : Config.t -> Fom_trace.Config.t -> n:int -> Stats.t
 (** Generate the program from a workload config, then {!run}. *)
 
-val run_source : Config.t -> Fom_trace.Source.t -> n:int -> Stats.t
+val run_source : ?kernel:Machine.kernel -> Config.t -> Fom_trace.Source.t -> n:int -> Stats.t
 (** {!run} over any replayable source (e.g. an imported trace). *)
+
+val run_packed : ?kernel:Machine.kernel -> Config.t -> Fom_trace.Packed.t -> n:int -> Stats.t
+(** {!run} fed directly from packed columns (see
+    {!Machine.create_packed}) — the fastest replay path, bit-identical
+    to {!run} over the same trace. The packing must cover at least the
+    instructions the machine fetches: [n] plus the in-flight span
+    ({!Config.inflight_span}). *)
 
 type event_penalty = {
   events : int;  (** miss-events of the isolated kind *)

@@ -191,6 +191,85 @@ let test_iw_sim_agrees_with_machine () =
         (ratio > 0.92 && ratio < 1.08))
     [ 8; 32; 128 ]
 
+let prop_packed_kernel_bit_identical =
+  (* The tentpole equivalence claim: the event-driven packed kernel
+     computes *bit-identical* IPC (exact float equality) to the
+     reference window-rescanning kernel, across randomized workloads,
+     stream seeds, window sizes, latency tables and issue limits. *)
+  QCheck.Test.make ~name:"packed kernel IPC bit-identical to reference" ~count:60
+    QCheck.(quad (int_range 0 11) (int_range 1 280) (int_bound 100_000) (int_range 0 4))
+    (fun (workload, window, seed, limit_sel) ->
+      let config = List.nth Fom_workloads.Spec2000.all workload in
+      let source = Fom_trace.Source.of_program ~seed (Fom_trace.Program.generate config) in
+      let latencies =
+        let pick k = 1 + ((seed / (k + 1)) mod 11) in
+        Fom_isa.Latency.make ~alu:(pick 1) ~mul:(pick 2) ~div:(pick 3) ~load:(pick 4)
+          ~store:(pick 5) ~branch:(pick 6) ~jump:(pick 7) ()
+      in
+      let issue_limit = match limit_sel with 0 -> None | k -> Some (1 lsl (k - 1)) in
+      let n = 2000 in
+      let reference = Iw_sim.ipc_of_source ~latencies ?issue_limit source ~window ~n in
+      let packed = Fom_trace.Packed.of_source source ~n:(n + window) in
+      let event = Iw_sim.ipc_of_packed ~latencies ?issue_limit packed ~window ~n in
+      Float.equal reference event)
+
+let test_packed_round_trip () =
+  (* Packed decode must replay instruction-for-instruction what the
+     source replays, including re-based indices and dependences in the
+     wrapped region past the packed length. *)
+  let len = 500 in
+  let total = (2 * len) + 37 in
+  let source = Fom_trace.Source.of_program (Lazy.force gzip) in
+  let packed = Fom_trace.Packed.of_source source ~n:len in
+  Alcotest.(check int) "length" len (Fom_trace.Packed.length packed);
+  Alcotest.(check string) "label" (Fom_trace.Source.label source)
+    (Fom_trace.Packed.label packed);
+  let expect =
+    Fom_trace.Source.record
+      (Fom_trace.Source.of_instrs (Fom_trace.Source.record source ~n:len))
+      ~n:total
+  in
+  let next = Fom_trace.Source.fresh (Fom_trace.Packed.to_source packed) in
+  Array.iteri
+    (fun i ins ->
+      Alcotest.(check bool)
+        (Printf.sprintf "decoded instr %d" i)
+        true
+        (Fom_trace.Packed.instr packed i = ins);
+      Alcotest.(check bool) (Printf.sprintf "replayed instr %d" i) true (next () = ins))
+    expect
+
+let test_packed_no_wrap_overrun () =
+  let packed =
+    Fom_trace.Packed.of_source (Fom_trace.Source.of_program (Lazy.force gzip)) ~n:100
+  in
+  let next = Fom_trace.Source.fresh (Fom_trace.Packed.to_source ~wrap:false packed) in
+  for _ = 1 to 100 do
+    ignore (next ())
+  done;
+  match next () with
+  | exception Fom_check.Checker.Invalid ds ->
+      Alcotest.(check bool) "FOM-T132" true
+        (List.exists (fun d -> d.Fom_check.Diagnostic.code = "FOM-T132") ds)
+  | _ -> Alcotest.fail "reading past a non-wrapping packed trace must raise"
+
+let test_iw_sim_rejects_window_beyond_ring () =
+  let source = Fom_trace.Source.of_program (Lazy.force gzip) in
+  let expect_code code thunk =
+    match thunk () with
+    | exception Fom_check.Checker.Invalid ds ->
+        Alcotest.(check bool) code true
+          (List.exists (fun d -> d.Fom_check.Diagnostic.code = code) ds)
+    | (_ : float) -> Alcotest.fail (Printf.sprintf "expected %s" code)
+  in
+  expect_code "FOM-I031" (fun () ->
+      Iw_sim.ipc_of_source source ~window:(Iw_sim.ring_size + 1) ~n:10);
+  let packed = Fom_trace.Packed.of_source source ~n:64 in
+  expect_code "FOM-I031" (fun () ->
+      Iw_sim.ipc_of_packed packed ~window:(Iw_sim.ring_size + 1) ~n:10);
+  (* The packed kernel also refuses traces too short for the run. *)
+  expect_code "FOM-I033" (fun () -> Iw_sim.ipc_of_packed packed ~window:32 ~n:64)
+
 let test_characterize_assembles_inputs () =
   let inputs = Characterize.inputs ~params:Params.baseline (Lazy.force gzip) ~n:50000 in
   Inputs.validate inputs;
@@ -240,6 +319,10 @@ let suite =
       Alcotest.test_case "group members match misses" `Quick
         test_profile_group_members_match_misses;
       Alcotest.test_case "iw sim agrees with machine" `Quick test_iw_sim_agrees_with_machine;
+      QCheck_alcotest.to_alcotest prop_packed_kernel_bit_identical;
+      Alcotest.test_case "packed round trip" `Quick test_packed_round_trip;
+      Alcotest.test_case "packed no-wrap overrun" `Quick test_packed_no_wrap_overrun;
+      Alcotest.test_case "iw sim ring guards" `Quick test_iw_sim_rejects_window_beyond_ring;
       Alcotest.test_case "characterize assembles inputs" `Quick test_characterize_assembles_inputs;
       Alcotest.test_case "model tracks simulation" `Slow test_characterize_model_tracks_simulation;
     ] )

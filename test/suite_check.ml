@@ -248,7 +248,13 @@ let test_util_codes () =
   expect_invalid "U001 rng" "FOM-U001" (fun () ->
       Fom_util.Rng.int (Fom_util.Rng.create 1) 0);
   expect_invalid "U001 distribution" "FOM-U001" (fun () ->
-      Fom_util.Distribution.add_many (Fom_util.Distribution.create ()) (-1) 2)
+      Fom_util.Distribution.add_many (Fom_util.Distribution.create ()) (-1) 2);
+  expect_invalid "U002 int_buffer" "FOM-U002" (fun () ->
+      Fom_util.Int_buffer.create ~capacity:0 ());
+  expect_invalid "U003 int_buffer get" "FOM-U003" (fun () ->
+      Fom_util.Int_buffer.get (Fom_util.Int_buffer.create ()) 0);
+  expect_invalid "U004 json" "FOM-U004" (fun () ->
+      Fom_util.Json.of_string "{\"unterminated\": [1, 2")
 
 (* --- machine configuration (FOM-M) ----------------------------------- *)
 
@@ -265,6 +271,25 @@ let test_machine_codes () =
   check_code "M006" "FOM-M006" (M.check { m with M.clusters = 0 });
   check_code "M007" "FOM-M007" (M.check { m with M.clusters = 3 });
   check_code "M008" "FOM-M008" (M.check { m with M.window_size = 47; clusters = 2 })
+
+(* --- ring-capacity guards (FOM-I03x) --------------------------------- *)
+
+let test_ring_guard_codes () =
+  let module M = Fom_uarch.Config in
+  (* FOM-I032: an in-flight span beyond the largest completion ring
+     would silently alias completion slots; config validation rejects
+     it instead. *)
+  check_code "I032" "FOM-I032" (M.check { m with M.rob_size = 1 lsl M.max_comp_ring_bits });
+  (* Below the cap the ring is sized to cover the span, so large-ROB
+     studies (e.g. the IW-agreement machine) remain valid. *)
+  let big = { m with M.rob_size = 65536; M.window_size = 48 } in
+  check_clean "large rob valid" (M.check big);
+  Alcotest.(check bool) "ring covers span" true (M.comp_ring_size big > M.inflight_span big);
+  (* FOM-I031: the window-limited IW simulator rejects windows beyond
+     its own completion ring rather than aliasing. *)
+  let program = Fom_trace.Program.generate (List.hd Fom_workloads.Micro.all) in
+  expect_invalid "I031 window beyond ring" "FOM-I031" (fun () ->
+      ignore (Fom_analysis.Iw_sim.ipc program ~window:(Fom_analysis.Iw_sim.ring_size + 1) ~n:64))
 
 let test_component_codes () =
   expect_invalid "M010 geometry" "FOM-M010" (fun () ->
@@ -335,6 +360,7 @@ let suite =
       Alcotest.test_case "instr codes" `Quick test_instr_codes;
       Alcotest.test_case "util codes" `Quick test_util_codes;
       Alcotest.test_case "machine codes" `Quick test_machine_codes;
+      Alcotest.test_case "ring guard codes" `Quick test_ring_guard_codes;
       Alcotest.test_case "component codes" `Quick test_component_codes;
       Alcotest.test_case "baselines clean" `Quick test_baselines_clean;
       Alcotest.test_case "report rendering" `Quick test_report;

@@ -162,6 +162,35 @@ let test_source_seed_override () =
   let default = record None in
   Alcotest.(check bool) "override perturbs the stream" true (a <> default)
 
+let test_resolve_jobs () =
+  let recommended = Pool.recommended_domain_count () in
+  (* No request: the default (FOM_JOBS or the recommended count), and
+     never a warning — on a single-core machine this is the sequential
+     default the harnesses rely on. *)
+  let jobs, warnings = Pool.resolve_jobs () in
+  Alcotest.(check int) "default" (Pool.default_jobs ()) jobs;
+  Alcotest.(check int) "no warning by default" 0 (List.length warnings);
+  (* An explicit in-budget request passes through silently. *)
+  let jobs, warnings = Pool.resolve_jobs ~requested:1 () in
+  Alcotest.(check int) "explicit 1" 1 jobs;
+  Alcotest.(check int) "no warning in budget" 0 (List.length warnings);
+  (* Oversubscription is honored but flagged FOM-E004 as a warning
+     (never an error: determinism is unaffected). *)
+  let jobs, warnings = Pool.resolve_jobs ~requested:(recommended + 7) () in
+  Alcotest.(check int) "oversubscribed count honored" (recommended + 7) jobs;
+  (match warnings with
+  | [ d ] ->
+      Alcotest.(check string) "code" "FOM-E004" d.Diagnostic.code;
+      Alcotest.(check bool) "warning severity" true
+        (d.Diagnostic.severity = Diagnostic.Warning)
+  | ds -> Alcotest.fail (Printf.sprintf "expected one FOM-E004, got %d" (List.length ds)));
+  (* A non-positive request is rejected outright. *)
+  match Pool.resolve_jobs ~requested:0 () with
+  | exception Checker.Invalid [ d ] ->
+      Alcotest.(check string) "E001" "FOM-E001" d.Diagnostic.code
+  | exception Checker.Invalid _ -> Alcotest.fail "expected one diagnostic"
+  | _ -> Alcotest.fail "accepted jobs = 0"
+
 let prop_map_agrees_with_list_map =
   QCheck.Test.make ~name:"pool map agrees with List.map and preserves order" ~count:50
     QCheck.(list small_int)
@@ -183,6 +212,7 @@ let suite =
       Alcotest.test_case "nested map on one pool" `Quick test_nested_map;
       Alcotest.test_case "shutdown rejects use" `Quick test_shutdown_rejects_use;
       Alcotest.test_case "default jobs positive" `Quick test_default_jobs_positive;
+      Alcotest.test_case "resolve_jobs" `Quick test_resolve_jobs;
       Alcotest.test_case "split_seeds deterministic" `Quick test_split_seeds_deterministic;
       Alcotest.test_case "split_n matches split" `Quick test_split_n_matches_split;
       Alcotest.test_case "source seed override" `Quick test_source_seed_override;

@@ -152,6 +152,77 @@ let test_window_stat_bounded () =
   Alcotest.(check bool) "rob occupancy within size" true
     (stats.Stats.mean_rob_occupancy <= 128.0)
 
+let prop_event_kernel_matches_scan =
+  (* The event-driven issue stage must be indistinguishable from the
+     reference window scan: identical full statistics (cycle counts,
+     miss events, occupancy means — exact float equality) on the same
+     trace, across randomized workloads, machine shapes and feature
+     sets (clusters, FU limits, TLB, fetch buffer, unbounded issue). *)
+  QCheck.Test.make ~name:"event issue kernel matches scan kernel exactly" ~count:40
+    QCheck.(quad (int_range 0 11) (int_bound 10_000) (int_range 0 5) (int_bound 10_000))
+    (fun (workload, seed, variant, shape) ->
+      let spec =
+        Fom_workloads.Spec2000.with_seed seed
+          (List.nth Fom_workloads.Spec2000.all workload)
+      in
+      let program = Fom_trace.Program.generate spec in
+      let base =
+        {
+          Config.baseline with
+          Config.width = [| 2; 4; 8 |].(shape mod 3);
+          pipeline_depth = 3 + (shape mod 4);
+          window_size = [| 16; 32; 48 |].(shape mod 3);
+          rob_size = 96 + (32 * (shape mod 3));
+        }
+      in
+      let config =
+        match variant with
+        | 0 -> Config.ideal base
+        | 1 -> base
+        | 2 -> Config.with_clusters 2 base
+        | 3 -> Config.with_fu_limits (Fom_isa.Fu_set.make ~alu:2 ~load:1 ~mul:1 ()) base
+        | 4 ->
+            Config.with_fetch_buffer 16
+              (Config.with_dtlb
+                 { Fom_cache.Tlb.entries = 16; page_bits = 13; walk_latency = 30 }
+                 base)
+        | _ -> { (Config.ideal base) with Config.unbounded_issue = true }
+      in
+      let n = 3000 in
+      let run kernel = Fom_uarch.Simulate.run ~kernel config program ~n in
+      run Machine.Scan = run Machine.Event)
+
+let prop_packed_feed_matches_thunk =
+  (* The packed feed decodes the same field values the thunk feed
+     does, so a packed-fed machine must produce bit-identical full
+     statistics — both kernels, real and ideal features. *)
+  QCheck.Test.make ~name:"packed feed matches thunk feed exactly" ~count:25
+    QCheck.(triple (int_range 0 11) (int_bound 10_000) (int_range 0 3))
+    (fun (workload, seed, variant) ->
+      let spec =
+        Fom_workloads.Spec2000.with_seed seed
+          (List.nth Fom_workloads.Spec2000.all workload)
+      in
+      let program = Fom_trace.Program.generate spec in
+      let config =
+        match variant with
+        | 0 -> ideal
+        | 1 -> Config.baseline
+        | 2 -> Config.with_clusters 2 Config.baseline
+        | _ -> Config.with_fetch_buffer 16 ideal
+      in
+      let n = 3000 in
+      let packed =
+        Fom_trace.Packed.of_source
+          (Fom_trace.Source.of_program program)
+          ~n:(n + Config.inflight_span config)
+      in
+      let check kernel =
+        Fom_uarch.Simulate.run ~kernel config program ~n
+        = Fom_uarch.Simulate.run_packed ~kernel config packed ~n
+      in
+      check Machine.Event && check Machine.Scan)
+
 let test_resumable_runs_compose () =
   (* Two runs of n/2 equal one run of n on the same machine. *)
   let m1 = Machine.create ideal (trace_of alu) in
@@ -176,4 +247,6 @@ let suite =
       Alcotest.test_case "store misses do not block" `Quick test_store_misses_do_not_block;
       Alcotest.test_case "occupancy stats bounded" `Quick test_window_stat_bounded;
       Alcotest.test_case "resumable runs compose" `Quick test_resumable_runs_compose;
+      QCheck_alcotest.to_alcotest prop_event_kernel_matches_scan;
+      QCheck_alcotest.to_alcotest prop_packed_feed_matches_thunk;
     ] )

@@ -178,6 +178,43 @@ let test_csv_roundtrip_file () =
       close_in ic;
       Alcotest.(check string) "written" "a\n1\n2\n" contents)
 
+let test_json_roundtrip () =
+  let module J = Fom_util.Json in
+  let v =
+    J.Obj
+      [
+        ("schema", J.String "fom-bench/1");
+        ("scale", J.Float 0.2);
+        ("jobs", J.Int 4);
+        ("flag", J.Bool true);
+        ("nothing", J.Null);
+        ( "exhibits",
+          J.List
+            [
+              J.Obj [ ("name", J.String "fig2"); ("seconds", J.Float 13.9153580666) ];
+              J.Obj [ ("name", J.String "with \"quotes\"\n"); ("seconds", J.Int 3) ];
+            ] );
+        ("empty_list", J.List []);
+        ("empty_obj", J.Obj []);
+      ]
+  in
+  Alcotest.(check bool) "pretty round-trips" true (J.of_string (J.to_string v) = v);
+  Alcotest.(check bool)
+    "compact round-trips" true
+    (J.of_string (J.to_string ~indent:0 v) = v);
+  (* The accessors the bench baseline gate is built from. *)
+  (match J.member "exhibits" v with
+  | Some (J.List (first :: _)) ->
+      Alcotest.(check (option string))
+        "member name" (Some "fig2")
+        (match J.member "name" first with Some (J.String s) -> Some s | _ -> None);
+      Alcotest.(check (option (float 1e-9)))
+        "number" (Some 13.9153580666)
+        (Option.bind (J.member "seconds" first) J.number)
+  | _ -> Alcotest.fail "exhibits missing");
+  Alcotest.(check (option (float 0.0))) "int as number" (Some 4.0)
+    (Option.bind (J.member "jobs" v) J.number)
+
 let prop_csv_field_count_preserved =
   QCheck.Test.make ~name:"csv rows keep their field count" ~count:100
     QCheck.(list_of_size (Gen.int_range 1 5) (string_gen_of_size (Gen.int_range 0 10) Gen.printable))
@@ -265,6 +302,7 @@ let suite =
       Alcotest.test_case "csv escaping" `Quick test_csv_escaping;
       Alcotest.test_case "csv render" `Quick test_csv_render;
       Alcotest.test_case "csv file roundtrip" `Quick test_csv_roundtrip_file;
+      Alcotest.test_case "json parse roundtrip" `Quick test_json_roundtrip;
       QCheck_alcotest.to_alcotest prop_csv_field_count_preserved;
     ]
     @ qcheck_cases )
