@@ -3,10 +3,13 @@
    results so that exhibits sharing a configuration (e.g. the
    all-ideal baseline) pay for it once.
 
-   The memo tables are guarded by a mutex so exhibits can warm them
-   from pool tasks ([warm_sims] / [warm_characterizations]); values
-   are computed outside the lock (a racing duplicate computation is
-   deterministic, so whichever result lands first is the one kept). *)
+   Memoization is through Fom_exec.Memo future cells: the first
+   demander of a key computes, concurrent demanders wait for that one
+   result (helping drain the pool while they do) — each sim and each
+   characterization runs exactly once per process regardless of
+   --jobs. With --cache-dir, results additionally persist across
+   processes through Fom_exec.Cache, keyed by a content digest of the
+   workload + machine configuration and instruction counts. *)
 
 module Config = Fom_uarch.Config
 module Stats = Fom_uarch.Stats
@@ -14,6 +17,8 @@ module Hierarchy = Fom_cache.Hierarchy
 module Predictor = Fom_branch.Predictor
 module Params = Fom_model.Params
 module Pool = Fom_exec.Pool
+module Memo = Fom_exec.Memo
+module Cache = Fom_exec.Cache
 
 type t = {
   n_sim : int;  (** instructions per detailed simulation *)
@@ -21,34 +26,37 @@ type t = {
   n_iw : int;  (** instructions per IW-curve point *)
   csv_dir : string option;  (** where to mirror tables as CSV files *)
   pool : Pool.t;  (** worker domains shared by every exhibit *)
-  programs : (string * Fom_trace.Program.t) list;
-  lock : Mutex.t;
-  packs : (string, Fom_trace.Packed.t) Hashtbl.t;
-  sims : (string, Stats.t) Hashtbl.t;
-  inputs : (string, Fom_analysis.Iw_curve.t * Fom_analysis.Profile.t * Fom_model.Inputs.t) Hashtbl.t;
+  disk : Cache.t option;  (** optional cross-process result cache *)
+  programs : (string * (Fom_trace.Config.t * Fom_trace.Program.t)) list;
+  packs : (string, Fom_trace.Packed.t) Memo.t;
+  sims : (string, Stats.t) Memo.t;
+  inputs :
+    (string, Fom_analysis.Iw_curve.t * Fom_analysis.Profile.t * Fom_model.Inputs.t) Memo.t;
 }
 
-let create ?csv_dir ?jobs ~scale () =
+let create ?csv_dir ?cache_dir ?jobs ~scale () =
   Fom_check.Checker.ensure ~code:"FOM-I030" ~path:"bench.scale" (scale > 0.0)
     "scale factor must be positive";
   (match csv_dir with
   | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
   | Some _ | None -> ());
   let s x = int_of_float (float_of_int x *. scale) in
+  let pool = Pool.create ?jobs () in
   {
     n_sim = s 200_000;
     n_profile = s 200_000;
     n_iw = s 30_000;
     csv_dir;
-    pool = Pool.create ?jobs ();
+    pool;
+    disk = Option.map (fun dir -> Cache.create ~dir) cache_dir;
     programs =
       List.map
-        (fun config -> (config.Fom_trace.Config.name, Fom_trace.Program.generate config))
+        (fun config ->
+          (config.Fom_trace.Config.name, (config, Fom_trace.Program.generate config)))
         Fom_workloads.Spec2000.all;
-    lock = Mutex.create ();
-    packs = Hashtbl.create 16;
-    sims = Hashtbl.create 64;
-    inputs = Hashtbl.create 16;
+    packs = Memo.create ~pool ();
+    sims = Memo.create ~pool ();
+    inputs = Memo.create ~pool ();
   }
 
 let shutdown t = Pool.shutdown t.pool
@@ -56,7 +64,21 @@ let pool t = t.pool
 let jobs t = Pool.jobs t.pool
 
 let names t = List.map fst t.programs
-let program t name = List.assoc name t.programs
+let program t name = snd (List.assoc name t.programs)
+let workload_config t name = fst (List.assoc name t.programs)
+
+let disk_stats t = Option.map Cache.stats t.disk
+
+let disk_diagnostics t =
+  match t.disk with Some cache -> Cache.drain_diagnostics cache | None -> []
+
+(* Persist through the on-disk cache when one is configured. [parts]
+   must capture everything the result depends on (the kind tag keeps
+   result types apart). *)
+let on_disk t ~kind ~parts compute =
+  match t.disk with
+  | None -> compute ()
+  | Some cache -> Cache.get cache ~key:(Cache.digest (kind :: parts)) compute
 
 (* Machine variants used across exhibits. *)
 let ideal = Config.ideal Config.baseline
@@ -66,36 +88,16 @@ let icache_only = Config.with_cache Hierarchy.ideal_except_l1i ideal
 let dcache_only = Config.with_cache Hierarchy.ideal_except_data ideal
 let fig14_machine = Config.with_cache Hierarchy.fig14 ideal
 
-(* Double-checked memoization: look up under the lock, compute outside
-   it, and keep whichever value was inserted first. *)
-let memo t tbl key compute =
-  Mutex.lock t.lock;
-  match Hashtbl.find_opt tbl key with
-  | Some v ->
-      Mutex.unlock t.lock;
-      v
-  | None ->
-      Mutex.unlock t.lock;
-      let v = compute () in
-      Mutex.lock t.lock;
-      let kept =
-        match Hashtbl.find_opt tbl key with
-        | Some winner -> winner
-        | None ->
-            Hashtbl.add tbl key v;
-            v
-      in
-      Mutex.unlock t.lock;
-      kept
-
 (* One packed trace per benchmark, shared by every simulation variant
    and the characterization passes. The margin past the longest pass
    covers the machine's fetch-ahead (bounded by the in-flight span)
-   and the IW sweep's window overhang. *)
+   and the IW sweep's window overhang. Packing is cheap relative to
+   what replays it, so it is memoized in-process but never written to
+   disk. *)
 let packed_margin = 8192
 
 let packed t name =
-  memo t t.packs name (fun () ->
+  Memo.get t.packs name (fun () ->
       let n =
         Stdlib.max (Stdlib.max t.n_sim t.n_profile) (t.n_iw + 512) + packed_margin
       in
@@ -103,33 +105,60 @@ let packed t name =
 
 let sim t ~variant ~config name =
   let key = Printf.sprintf "%s/%s/%d" variant name t.n_sim in
-  memo t t.sims key (fun () ->
-      (* Replay the packed columns instead of re-generating the stream;
-         identical instructions, so identical statistics. Configs whose
-         fetch-ahead could outrun the packed margin (none of the stock
-         variants) fall back to generation. *)
-      if Config.inflight_span config <= packed_margin then
-        Fom_uarch.Simulate.run_packed config (packed t name) ~n:t.n_sim
-      else Fom_uarch.Simulate.run config (program t name) ~n:t.n_sim)
+  Memo.get t.sims key (fun () ->
+      on_disk t ~kind:"sim"
+        ~parts:
+          [
+            Cache.part (workload_config t name);
+            Cache.part config;
+            string_of_int t.n_sim;
+          ]
+        (fun () ->
+          (* Replay the packed columns instead of re-generating the
+             stream; identical instructions, so identical statistics.
+             Configs whose fetch-ahead could outrun the packed margin
+             (none of the stock variants) fall back to generation. *)
+          if Config.inflight_span config <= packed_margin then
+            Fom_uarch.Simulate.run_packed config (packed t name) ~n:t.n_sim
+          else Fom_uarch.Simulate.run config (program t name) ~n:t.n_sim))
 
-let characterization ?(grouping = Fom_analysis.Profile.Dependence_aware) t name =
+(* Characterize [name] under an optional non-baseline cache hierarchy
+   and model parameters (Figure 14 profiles against its own 128K-L1D /
+   200-cycle machine). [tag] keys the in-process memo; the on-disk
+   digest is content-based, so two tags describing identical
+   configurations share a disk entry. *)
+let characterization_for ?(grouping = Fom_analysis.Profile.Dependence_aware) ?cache ~tag
+    ~params t name =
   let key =
-    Printf.sprintf "%s/%s" name
+    Printf.sprintf "%s/%s/%s" tag name
       (match grouping with
       | Fom_analysis.Profile.Dependence_aware -> "aware"
       | Fom_analysis.Profile.Paper_naive -> "naive")
   in
-  memo t t.inputs key (fun () ->
-      (* The pool is passed down so the IW-curve points parallelize
-         across windows as well as benchmarks; nested maps are safe
-         because a waiting caller helps drain the shared queue. *)
-      Fom_analysis.Characterize.curve_and_inputs_of_packed ~pool:t.pool
-        ~iw_instructions:t.n_iw ~grouping ~params:Params.baseline (packed t name)
-        ~n:t.n_profile)
+  Memo.get t.inputs key (fun () ->
+      on_disk t ~kind:"characterization"
+        ~parts:
+          [
+            Cache.part (workload_config t name);
+            Cache.part (grouping, cache, params);
+            string_of_int t.n_profile;
+            string_of_int t.n_iw;
+          ]
+        (fun () ->
+          (* The pool is passed down so the IW-curve points parallelize
+             across windows as well as benchmarks; nested maps are safe
+             because a waiting caller drives the deques itself. *)
+          Fom_analysis.Characterize.curve_and_inputs_of_packed ~pool:t.pool
+            ~iw_instructions:t.n_iw ?cache ~grouping ~params (packed t name)
+            ~n:t.n_profile))
+
+let characterization ?grouping t name =
+  characterization_for ?grouping ~tag:"base" ~params:Params.baseline t name
 
 (* Run independent thunks on the pool; exhibits use this to warm the
    memo caches in parallel before printing rows in their fixed
-   sequential order. *)
+   sequential order. Thanks to the memo futures, overlapping warm
+   lists (or a warm racing a direct demand) never duplicate work. *)
 let parallel t thunks = ignore (Pool.map t.pool ~f:(fun thunk -> thunk ()) thunks)
 
 let warm_sims t specs =

@@ -194,14 +194,32 @@ let fig11 ctx =
 let fig14 ctx =
   Context.heading "Figure 14: penalty per long D-cache miss, simulation vs model (eq. 8)";
   let params = { Params.baseline with Params.long_delay = 200 } in
-  (* Each benchmark's row needs two sims plus a fresh characterization
-     against the Figure 14 hierarchy — all independent, so the rows
-     are computed as one parallel batch (order preserved by the pool)
-     and only printed sequentially. *)
+  (* Each benchmark's row needs two sims plus a characterization
+     against the Figure 14 hierarchy. Every one of those is its own
+     stealable pool task — three per benchmark, not one — so the
+     slowest benchmark's characterization no longer serializes the two
+     sims behind it, and the memo futures guarantee nothing is
+     computed twice even where the warm list overlaps other
+     exhibits. *)
+  Context.parallel ctx
+    (List.concat_map
+       (fun name ->
+         [
+           (fun () ->
+             ignore (Context.sim ctx ~variant:"fig14" ~config:Context.fig14_machine name));
+           (fun () -> ignore (Context.sim ctx ~variant:"ideal" ~config:Context.ideal name));
+           (fun () ->
+             (* Model inputs for this hierarchy: profile with the
+                Figure 14 cache so long misses and their grouping
+                match. *)
+             ignore
+               (Context.characterization_for ctx ~tag:"fig14"
+                  ~cache:Fom_cache.Hierarchy.fig14 ~params name));
+         ])
+       (Context.names ctx));
   let rows =
-    List.filter_map Fun.id
-      (Fom_exec.Pool.map (Context.pool ctx)
-         ~f:(fun name ->
+    List.filter_map
+      (fun name ->
         let faulty = Context.sim ctx ~variant:"fig14" ~config:Context.fig14_machine name in
         let base = Context.sim ctx ~variant:"ideal" ~config:Context.ideal name in
         let events = faulty.Stats.long_data_misses in
@@ -210,12 +228,9 @@ let fig14 ctx =
           let sim_penalty =
             float_of_int (faulty.Stats.cycles - base.Stats.cycles) /. float_of_int events
           in
-          (* Model inputs for this hierarchy: profile with the Figure
-             14 cache so long misses and their grouping match. *)
-          let inputs =
-            Fom_analysis.Characterize.inputs ~cache:Fom_cache.Hierarchy.fig14
-              ~iw_instructions:ctx.Context.n_iw ~params (Context.program ctx name)
-              ~n:ctx.Context.n_profile
+          let _, _, inputs =
+            Context.characterization_for ctx ~tag:"fig14" ~cache:Fom_cache.Hierarchy.fig14
+              ~params name
           in
           let factor = Inputs.long_group_factor inputs in
           let iw = Cpi.characteristic params inputs in
@@ -230,7 +245,7 @@ let fig14 ctx =
               Table.float_cell ~decimals:1 paper_model;
               Table.float_cell ~decimals:2 factor;
             ])
-         (Context.names ctx))
+      (Context.names ctx)
   in
   Context.table ctx ~name:"fig14"
     ~header:[ "benchmark"; "simulation"; "model"; "model (paper eq.8)"; "group factor" ]

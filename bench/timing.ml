@@ -69,6 +69,27 @@ let make_tests () =
          (let pool = Fom_exec.Pool.create () in
           let tasks = List.init 64 (fun i -> i) in
           fun () -> ignore (Fom_exec.Pool.map pool ~f:(fun x -> x) tasks)));
+    (* Steal throughput: 512 tiny tasks through the per-worker deques
+       bounds the scheduler's own cost per task (push, pop/steal,
+       result delivery) when the work itself is negligible. *)
+    Test.make ~name:"exec steal throughput (512 tiny tasks)"
+      (Staged.stage
+         (let pool = Fom_exec.Pool.create () in
+          let tasks = List.init 512 (fun i -> i) in
+          fun () -> ignore (Fom_exec.Pool.map pool ~f:(fun x -> (x * 31) + 7) tasks)));
+    (* Memo contention: 64 demands of one already-computed key bound
+       the per-lookup cost of the future cells on the harness's hot
+       path (every exhibit row re-demands its sims through the memo). *)
+    Test.make ~name:"exec memo lookup (64 demands, 1 key)"
+      (Staged.stage
+         (let pool = Fom_exec.Pool.create () in
+          let memo = Fom_exec.Memo.create ~pool () in
+          let demands = List.init 64 (fun i -> i) in
+          fun () ->
+            ignore
+              (Fom_exec.Pool.map pool
+                 ~f:(fun _ -> Fom_exec.Memo.get memo "key" (fun () -> 42))
+                 demands)));
   ]
 
 let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]

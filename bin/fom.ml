@@ -314,7 +314,18 @@ let check_cmd =
              core count). The sweep is deterministic: $(b,--jobs 1) reports exactly what a \
              parallel run reports.")
   in
-  let run width depth window rob workload deep n jobs seed =
+  let cache_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:
+            "Persist the deep sweep's characterizations across runs in $(docv), keyed by a \
+             content digest of the effective workload configuration (derived seed \
+             included), the model parameters and $(b,-n). Corrupt or stale entries are \
+             recomputed and surface in the report as FOM-E006/FOM-E007 warnings.")
+  in
+  let run width depth window rob workload deep n jobs cache_dir seed =
     let module C = Fom_check.Checker in
     let module D = Fom_check.Diagnostic in
     let params = params_of width depth window rob in
@@ -336,11 +347,36 @@ let check_cmd =
           Fom_util.Rng.split_seeds (Fom_util.Rng.create root) (List.length workloads))
         seed
     in
+    let cache =
+      if deep then Option.map (fun dir -> Fom_exec.Cache.create ~dir) cache_dir else None
+    in
     let deep_diags (index, config) =
       let prefix = "workload." ^ config.Fom_trace.Config.name in
+      (* The effective configuration (derived seed folded in) is what
+         the digest must describe, so recompute it here rather than
+         inside Program.generate. *)
+      let config =
+        match Option.map (fun a -> a.(index)) task_seeds with
+        | Some s -> Fom_workloads.Spec2000.with_seed s config
+        | None -> config
+      in
       match
-        let program = program_of config (Option.map (fun a -> a.(index)) task_seeds) in
-        Fom_analysis.Characterize.inputs ~params program ~n
+        let compute () =
+          Fom_analysis.Characterize.inputs ~params (Fom_trace.Program.generate config) ~n
+        in
+        match cache with
+        | None -> compute ()
+        | Some c ->
+            Fom_exec.Cache.get c
+              ~key:
+                (Fom_exec.Cache.digest
+                   [
+                     "check-inputs";
+                     Fom_exec.Cache.part config;
+                     Fom_exec.Cache.part params;
+                     string_of_int n;
+                   ])
+              compute
       with
       | inputs -> reroot prefix (Fom_model.Inputs.check inputs)
       | exception C.Invalid ds -> reroot prefix ds
@@ -357,11 +393,15 @@ let check_cmd =
               Fom_exec.Pool.map pool ~f:deep_diags
                 (List.mapi (fun index config -> (index, config)) workloads)) )
     in
+    let cache_diags =
+      match cache with Some c -> Fom_exec.Cache.drain_diagnostics c | None -> []
+    in
     let diags =
       C.all
         (Fom_model.Params.check params
         :: Fom_uarch.Config.check machine
         :: jobs_diags
+        :: cache_diags
         :: List.map Fom_trace.Config.check workloads
         @ deep_results)
     in
@@ -371,7 +411,7 @@ let check_cmd =
   let term =
     Term.(
       const run $ width_arg $ depth_arg $ window_arg $ rob_arg $ workload_opt $ deep_flag
-      $ instructions_arg 20_000 $ jobs_arg $ seed_arg)
+      $ instructions_arg 20_000 $ jobs_arg $ cache_dir_arg $ seed_arg)
   in
   Cmd.v
     (Cmd.info "check"

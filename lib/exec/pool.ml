@@ -1,15 +1,67 @@
 module Checker = Fom_check.Checker
 module Diagnostic = Fom_check.Diagnostic
 
-(* Jobs enqueued on the pool are pre-wrapped chunk closures that never
+(* Tasks scheduled on the pool are pre-wrapped closures that never
    raise: every per-task exception is captured into the caller's
-   result array before the chunk closure returns. *)
+   result array before the closure returns. *)
+
+(* A growable ring-buffer deque of tasks. The owning worker pushes and
+   pops at the back (depth-first: a nested map's subtasks run before
+   the tasks that spawned them), thieves take from the front (the
+   oldest work, which tends to be the largest remaining slice of a
+   batch). All deques are guarded by the pool's single mutex — tasks
+   here are detailed simulations and IW-curve points costing
+   milliseconds to seconds, so lock traffic is noise; the deque
+   structure is about *placement* (locality and steal-half balancing),
+   not lock-freedom. *)
+module Deque = struct
+  type t = {
+    mutable buf : (unit -> unit) array;
+    mutable head : int;  (* index of the front element *)
+    mutable len : int;
+  }
+
+  let nop () = ()
+  let create () = { buf = Array.make 64 nop; head = 0; len = 0 }
+  let length d = d.len
+
+  let grow d =
+    let cap = Array.length d.buf in
+    let buf = Array.make (2 * cap) nop in
+    for i = 0 to d.len - 1 do
+      buf.(i) <- d.buf.((d.head + i) mod cap)
+    done;
+    d.buf <- buf;
+    d.head <- 0
+
+  let push_back d task =
+    if d.len = Array.length d.buf then grow d;
+    let cap = Array.length d.buf in
+    d.buf.((d.head + d.len) mod cap) <- task;
+    d.len <- d.len + 1
+
+  let pop_back d =
+    let cap = Array.length d.buf in
+    let i = (d.head + d.len - 1) mod cap in
+    let task = d.buf.(i) in
+    d.buf.(i) <- nop;
+    d.len <- d.len - 1;
+    task
+
+  let pop_front d =
+    let task = d.buf.(d.head) in
+    d.buf.(d.head) <- nop;
+    d.head <- (d.head + 1) mod Array.length d.buf;
+    d.len <- d.len - 1;
+    task
+end
+
 type t = {
-  jobs : int;
-  mutex : Mutex.t;
-  work : (unit -> unit) Queue.t;
-  work_ready : Condition.t;  (* new work was enqueued, or shutdown *)
-  progress : Condition.t;  (* some map call completed all its chunks *)
+  jobs : int;  (* advertised parallelism (the --jobs request) *)
+  mutex : Mutex.t;  (* guards deques, slots, stopped *)
+  deques : Deque.t array;  (* one per participating domain *)
+  slots : (int, int) Hashtbl.t;  (* domain id -> deque slot *)
+  activity : Condition.t;  (* work arrived, a batch completed, or shutdown *)
   mutable stopped : bool;
   mutable workers : unit Domain.t list;
 }
@@ -41,76 +93,167 @@ let resolve_jobs ?requested () =
               ~path:"exec.jobs"
               (Printf.sprintf
                  "%d worker domains oversubscribe this machine (%d recommended); the \
-                  sweep stays deterministic but expect no further speedup"
+                  pool caps the domains it actually runs at the recommended count, so \
+                  results are unchanged but expect no further speedup"
                  jobs recommended);
           ]
         else []
       in
       (jobs, warnings)
 
-let rec worker_loop t =
-  Mutex.lock t.mutex;
-  while Queue.is_empty t.work && not t.stopped do
-    Condition.wait t.work_ready t.mutex
-  done;
-  match Queue.take_opt t.work with
-  | None ->
-      (* Stopped with an empty queue: the domain retires. *)
-      Mutex.unlock t.mutex
-  | Some job ->
-      Mutex.unlock t.mutex;
-      job ();
-      worker_loop t
+let self_id () = (Domain.self () :> int)
 
-let create ?jobs () =
+(* The slot (deque index) the current domain owns, if it is a
+   registered participant of this pool. Nested maps and memo helpers
+   always run on registered domains; an unregistered domain (some
+   foreign domain calling into a pool it did not create) simply
+   schedules onto deque 0 and steals rather than owning a deque. *)
+let slot_of_current t = Hashtbl.find_opt t.slots (self_id ())
+
+(* Take one runnable task, preferring the back of the caller's own
+   deque, else stealing from the longest other deque. A thief moves
+   half of the victim's front (oldest first) — one task to run now,
+   the rest onto its own deque where they are in turn stealable — so
+   an imbalanced batch spreads geometrically instead of one task at a
+   time. Caller must hold [t.mutex]. *)
+let take_for t slot =
+  let own =
+    match slot with
+    | Some s when Deque.length t.deques.(s) > 0 -> Some (Deque.pop_back t.deques.(s))
+    | Some _ | None -> None
+  in
+  match own with
+  | Some _ as task -> task
+  | None ->
+      let victim = ref (-1) and best = ref 0 in
+      Array.iteri
+        (fun i d ->
+          let len = Deque.length d in
+          if len > !best then begin
+            victim := i;
+            best := len
+          end)
+        t.deques;
+      if !victim < 0 then None
+      else begin
+        let v = t.deques.(!victim) in
+        let task = Deque.pop_front v in
+        (match slot with
+        | Some s when s <> !victim ->
+            (* steal-half: the first stolen task runs immediately, the
+               rest land on the thief's deque. *)
+            let half = (!best + 1) / 2 in
+            for _ = 2 to half do
+              Deque.push_back t.deques.(s) (Deque.pop_front v)
+            done
+        | Some _ | None -> ());
+        Some task
+      end
+
+let rec worker_loop t slot =
+  Mutex.lock t.mutex;
+  let rec next () =
+    match take_for t (Some slot) with
+    | Some task ->
+        Mutex.unlock t.mutex;
+        task ();
+        worker_loop t slot
+    | None ->
+        if t.stopped then Mutex.unlock t.mutex
+        else begin
+          Condition.wait t.activity t.mutex;
+          next ()
+        end
+  in
+  next ()
+
+let create ?jobs ?domains () =
   let jobs = match jobs with Some j -> j | None -> default_jobs () in
   Checker.ensure ~code:"FOM-E001" ~path:"exec.jobs" (jobs >= 1)
     "worker count must be at least 1";
+  (* Run at most the recommended number of domains: extra domains on a
+     saturated machine only add stop-the-world GC synchronization and
+     timeslice thrash (the classic ~0.5x "speedup" of oversubscribed
+     OCaml 5 pools). The advertised [jobs] is preserved — callers gate
+     parallel code paths on it — while [?domains] lets tests force
+     true multi-domain execution even on a single-core machine. *)
+  let domains =
+    match domains with
+    | Some d ->
+        Checker.ensure ~code:"FOM-E001" ~path:"exec.domains" (d >= 1)
+          "domain count must be at least 1";
+        d
+    | None -> Stdlib.max 1 (Stdlib.min jobs (recommended_domain_count ()))
+  in
   let t =
     {
       jobs;
       mutex = Mutex.create ();
-      work = Queue.create ();
-      work_ready = Condition.create ();
-      progress = Condition.create ();
+      deques = Array.init domains (fun _ -> Deque.create ());
+      slots = Hashtbl.create 8;
+      activity = Condition.create ();
       stopped = false;
       workers = [];
     }
   in
-  (* The calling domain is worker 0; only the remaining jobs - 1 run
-     as spawned domains. *)
-  t.workers <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  (* The creating domain is participant 0; only the remaining
+     domains - 1 run as spawned domains. *)
+  Hashtbl.replace t.slots (self_id ()) 0;
+  t.workers <-
+    List.init (domains - 1) (fun i ->
+        Domain.spawn (fun () ->
+            let slot = i + 1 in
+            Mutex.lock t.mutex;
+            Hashtbl.replace t.slots (self_id ()) slot;
+            Mutex.unlock t.mutex;
+            worker_loop t slot));
   t
 
 let jobs t = t.jobs
+let domains t = Array.length t.deques
 
 let shutdown t =
   Mutex.lock t.mutex;
   let workers = t.workers in
   t.stopped <- true;
   t.workers <- [];
-  Condition.broadcast t.work_ready;
+  Condition.broadcast t.activity;
   Mutex.unlock t.mutex;
   List.iter Domain.join workers
 
-let with_pool ?jobs f =
-  let t = create ?jobs () in
+let with_pool ?jobs ?domains f =
+  let t = create ?jobs ?domains () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
-(* Run every chunk closure, helping from the calling domain: enqueue
-   the chunks, then keep draining the shared queue until this call's
-   chunks have all completed. Draining *any* queued chunk (possibly
-   one belonging to a map issued by a task of this very pool) is what
-   makes nested maps deadlock-free: a waiting caller never sleeps
-   while runnable work exists. *)
-let run_chunks t chunks =
-  let n_chunks = Array.length chunks in
-  let remaining = ref n_chunks in
-  let wrap chunk () =
-    chunk ();
+(* Run one pending task from anywhere in the pool, if there is one.
+   This is how a domain blocked on something other than the pool (a
+   Memo future, say) stays useful instead of sleeping. *)
+let help t =
+  Mutex.lock t.mutex;
+  match take_for t (slot_of_current t) with
+  | Some task ->
+      Mutex.unlock t.mutex;
+      task ();
+      true
+  | None ->
+      Mutex.unlock t.mutex;
+      false
+
+(* Schedule every task and drive from the calling domain: push the
+   batch onto the caller's own deque, then keep taking tasks — its own
+   first, stolen ones otherwise — until this batch has completed.
+   Running *any* available task (possibly one belonging to a map
+   issued by a task of this very pool) is what makes nested maps
+   deadlock-free: a waiting caller never sleeps while runnable work
+   exists. *)
+let run_tasks t tasks =
+  let n_tasks = Array.length tasks in
+  let remaining = ref n_tasks in
+  let wrap task () =
+    task ();
     Mutex.lock t.mutex;
     decr remaining;
-    if !remaining = 0 then Condition.broadcast t.progress;
+    if !remaining = 0 then Condition.broadcast t.activity;
     Mutex.unlock t.mutex
   in
   Mutex.lock t.mutex;
@@ -119,18 +262,22 @@ let run_chunks t chunks =
     Checker.ensure ~code:"FOM-E003" ~path:"exec.map" false
       "pool was used after shutdown"
   end;
-  Array.iter (fun chunk -> Queue.add (wrap chunk) t.work) chunks;
-  Condition.broadcast t.work_ready;
+  let slot = slot_of_current t in
+  let dest = t.deques.(match slot with Some s -> s | None -> 0) in
+  Array.iter (fun task -> Deque.push_back dest (wrap task)) tasks;
+  Condition.broadcast t.activity;
   let rec drive () =
     if !remaining > 0 then
-      match Queue.take_opt t.work with
-      | Some job ->
+      match take_for t slot with
+      | Some task ->
           Mutex.unlock t.mutex;
-          job ();
+          task ();
           Mutex.lock t.mutex;
           drive ()
       | None ->
-          Condition.wait t.progress t.mutex;
+          (* Tasks of this batch are still running on other domains
+             (or will complete maps that broadcast [activity]). *)
+          Condition.wait t.activity t.mutex;
           drive ()
   in
   drive ();
@@ -165,23 +312,28 @@ let try_map (type b) t ~(f : _ -> b) items =
   let results : (b, Diagnostic.t list) result array =
     Array.make n (Error [])
   in
-  (if t.jobs = 1 || n <= 1 then
+  (if n <= 1 || domains t = 1 then begin
+     (* A single participating domain runs the batch inline: exactly
+        what driving the deque would do, without the scheduling. The
+        shutdown contract still holds. *)
+     Mutex.lock t.mutex;
+     let stopped = t.stopped in
+     Mutex.unlock t.mutex;
+     if stopped then
+       Checker.ensure ~code:"FOM-E003" ~path:"exec.map" false
+         "pool was used after shutdown";
      for index = 0 to n - 1 do
        capture ~f ~results items index
      done
-   else begin
-     (* Contiguous chunks, a few per worker so that uneven task costs
-        (large IW windows, memory-bound benchmarks) still balance
-        without per-task queue traffic. *)
-     let n_chunks = Stdlib.min n (t.jobs * 4) in
-     let chunk c () =
-       let lo = c * n / n_chunks and hi = (c + 1) * n / n_chunks in
-       for index = lo to hi - 1 do
-         capture ~f ~results items index
-       done
-     in
-     run_chunks t (Array.init n_chunks chunk)
-   end);
+   end
+   else
+     (* One task per item — per-(variant, benchmark) sims and
+        per-window IW points are each independently stealable, so one
+        slow benchmark no longer serializes a whole chunk. Results are
+        delivered by index, so task order is preserved no matter which
+        domain ran what: [jobs = 1] stays bit-identical to
+        [jobs = N]. *)
+     run_tasks t (Array.init n (fun index () -> capture ~f ~results items index)));
   Array.to_list results
 
 let map t ~f items =

@@ -1,30 +1,45 @@
-(** Fixed domain-pool scheduler for embarrassingly parallel evaluation.
+(** Work-stealing domain-pool scheduler for embarrassingly parallel
+    evaluation.
 
     The paper's value proposition is that the first-order model is
     orders of magnitude cheaper than detailed simulation; this module
     is how the repository spends that cheapness across cores. A pool
-    owns a fixed set of worker domains (no work stealing, no dynamic
-    resizing) and evaluates *immutable task descriptors* with
-    {!map}/{!map_reduce}:
+    owns a fixed set of participating domains and evaluates *immutable
+    task descriptors* with {!map}/{!map_reduce}:
 
-    - {b Chunked}: the task list is split into contiguous chunks that
-      are enqueued once; workers take whole chunks, never individual
-      tasks, so scheduling overhead is independent of task count.
+    - {b Per-worker deques, steal-half}: each participating domain
+      owns a deque. A batch lands on the submitting domain's deque;
+      the owner works from the back (depth-first, so nested maps stay
+      cache-local), idle domains steal the oldest *half* of the
+      longest deque, so imbalanced batches spread geometrically. Every
+      task — one detailed sim, one IW-curve window — is independently
+      stealable; one slow benchmark no longer serializes a chunk.
     - {b Deterministic ordering}: results are delivered in task order
-      regardless of which domain ran which chunk, and {!map_reduce}
+      regardless of which domain ran which task, and {!map_reduce}
       folds in task order — a [jobs = 1] pool is bit-identical to
-      [jobs = N].
+      [jobs = N], across repeated runs.
+    - {b Domain capping}: the pool never runs more domains than
+      {!recommended_domain_count} — oversubscribed domains only add
+      stop-the-world GC synchronization (the classic ~0.5x "speedup"
+      of an oversubscribed OCaml 5 pool). The advertised {!jobs} count
+      is preserved for callers that gate parallel paths on it;
+      {!create}'s [?domains] overrides the cap (tests use it to force
+      true multi-domain execution on single-core machines).
     - {b Exception capture}: a task that raises does not tear down the
       pool. Failures are collected per task and surfaced as
       {!Fom_check} diagnostics ([FOM-E002], or the task's own
       diagnostics re-rooted under its index); the surviving pool can
       immediately run the next batch.
     - {b Reentrant}: a task may itself call {!map} on the same pool.
-      The caller of a map always helps drain the shared queue while it
-      waits, so nested maps make progress even on a single domain.
+      The caller of a map always drives — running its own tasks and
+      stealing others — while it waits, so nested maps make progress
+      even on a single domain, and {!help} lets a domain blocked on
+      something else (a {!Memo} future) drain the pool instead of
+      sleeping.
 
     Diagnostic codes ([FOM-Exxx], "execution"):
-    - [FOM-E001] — invalid job count (flag, [FOM_JOBS], or [create])
+    - [FOM-E001] — invalid job or domain count (flag, [FOM_JOBS], or
+      [create])
     - [FOM-E002] — a task raised a non-diagnostic exception
     - [FOM-E003] — the pool was used after {!shutdown}
     - [FOM-E004] — an explicit job count oversubscribes the machine
@@ -32,8 +47,8 @@
 
 type t
 (** A pool of worker domains. The creating domain participates in
-    every {!map}, so a pool of [jobs = n] spawns [n - 1] domains and a
-    [jobs = 1] pool spawns none and runs everything inline. *)
+    every {!map}, so a pool running [d] domains spawns [d - 1] and a
+    single-domain pool spawns none and runs everything inline. *)
 
 val recommended_domain_count : unit -> int
 (** The runtime's recommended domain count — the point past which more
@@ -51,25 +66,42 @@ val resolve_jobs : ?requested:int -> unit -> int * Fom_check.Diagnostic.t list
     recommends a single domain and [FOM_JOBS] is unset. An explicit
     [?requested] count wins (it must be positive — [FOM-E001]
     otherwise), but when it exceeds {!recommended_domain_count} a
-    [FOM-E004] {e warning} diagnostic is returned alongside it:
-    oversubscription never changes results (the pool is deterministic),
-    it only wastes scheduling. *)
+    [FOM-E004] {e warning} diagnostic is returned alongside it: the
+    pool caps the domains it actually runs at the recommended count
+    (see {!create}), so oversubscription never changes results, it
+    only fails to help. *)
 
-val create : ?jobs:int -> unit -> t
-(** [create ~jobs ()] starts a pool of [jobs] workers (default
-    {!default_jobs}). Requires [jobs >= 1].
+val create : ?jobs:int -> ?domains:int -> unit -> t
+(** [create ~jobs ()] starts a pool advertising [jobs] workers
+    (default {!default_jobs}). Requires [jobs >= 1]. The number of
+    domains actually run is [min jobs (recommended_domain_count ())]
+    unless [?domains] overrides it — results never depend on either
+    count.
     @raise Fom_check.Checker.Invalid with [FOM-E001] otherwise. *)
 
 val jobs : t -> int
-(** The pool's worker count (including the calling domain). *)
+(** The pool's advertised worker count (the [--jobs] request,
+    including the calling domain). *)
+
+val domains : t -> int
+(** The number of domains actually participating (including the
+    calling domain): [min (jobs t) (recommended_domain_count ())]
+    unless [create ?domains] overrode the cap. *)
 
 val shutdown : t -> unit
 (** Drain outstanding work, join the worker domains and mark the pool
     closed. Idempotent; subsequent {!map} calls raise [FOM-E003]. *)
 
-val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+val with_pool : ?jobs:int -> ?domains:int -> (t -> 'a) -> 'a
 (** [with_pool f] runs [f] with a fresh pool and always shuts it
     down. *)
+
+val help : t -> bool
+(** Run one pending task from anywhere in the pool, if any is queued:
+    the caller's own deque first, else stolen from the longest one.
+    [false] means nothing was runnable. This is how a domain blocked
+    on something other than the pool (a {!Memo} future) stays useful
+    instead of sleeping. *)
 
 val try_map :
   t -> f:('a -> 'b) -> 'a list -> ('b, Fom_check.Diagnostic.t list) result list

@@ -1,9 +1,17 @@
-(* Tests for Fom_exec.Pool: deterministic ordering, jobs-independence
-   of results (the --jobs 1 reproducibility contract), per-task
-   exception capture as diagnostics, pool survival after failures,
-   and the explicit per-task seed split through Fom_trace. *)
+(* Tests for Fom_exec: deterministic ordering and work-stealing
+   jobs-independence (the --jobs 1 reproducibility contract), per-task
+   exception capture as diagnostics, pool survival after failures, the
+   explicit per-task seed split through Fom_trace, exactly-once Memo
+   futures under concurrent demand, and the on-disk Cache's
+   corrupt/stale handling.
+
+   Concurrency tests pass [~domains] to the pool to force true
+   multi-domain execution: without it a single-core machine caps the
+   pool at one domain and the races under test never happen. *)
 
 module Pool = Fom_exec.Pool
+module Memo = Fom_exec.Memo
+module Cache = Fom_exec.Cache
 module Checker = Fom_check.Checker
 module Diagnostic = Fom_check.Diagnostic
 module Rng = Fom_util.Rng
@@ -32,23 +40,20 @@ let test_jobs_invariance_iw_curve () =
   let windows = [ 4; 16; 64 ] in
   let measure pool = Iw_curve.measure ?pool ~windows ~n:4000 program in
   let sequential = measure None in
-  Pool.with_pool ~jobs:1 (fun pool1 ->
-      Pool.with_pool ~jobs:4 (fun pool4 ->
-          let one = measure (Some pool1) in
-          let four = measure (Some pool4) in
-          List.iter2
-            (fun (a : Iw_curve.point) (b : Iw_curve.point) ->
-              Alcotest.(check int) "window" a.Iw_curve.window b.Iw_curve.window;
-              Alcotest.(check (float 0.0)) "ipc bit-identical" a.Iw_curve.ipc b.Iw_curve.ipc)
-            sequential.Iw_curve.points one.Iw_curve.points;
-          List.iter2
-            (fun (a : Iw_curve.point) (b : Iw_curve.point) ->
-              Alcotest.(check (float 0.0)) "ipc bit-identical" a.Iw_curve.ipc b.Iw_curve.ipc)
-            sequential.Iw_curve.points four.Iw_curve.points;
-          Alcotest.(check (float 0.0))
-            "alpha bit-identical" (Iw_curve.alpha sequential) (Iw_curve.alpha four);
-          Alcotest.(check (float 0.0))
-            "beta bit-identical" (Iw_curve.beta sequential) (Iw_curve.beta four)))
+  let check_points (parallel : Iw_curve.t) =
+    List.iter2
+      (fun (a : Iw_curve.point) (b : Iw_curve.point) ->
+        Alcotest.(check int) "window" a.Iw_curve.window b.Iw_curve.window;
+        Alcotest.(check (float 0.0)) "ipc bit-identical" a.Iw_curve.ipc b.Iw_curve.ipc)
+      sequential.Iw_curve.points parallel.Iw_curve.points;
+    Alcotest.(check (float 0.0))
+      "alpha bit-identical" (Iw_curve.alpha sequential) (Iw_curve.alpha parallel);
+    Alcotest.(check (float 0.0))
+      "beta bit-identical" (Iw_curve.beta sequential) (Iw_curve.beta parallel)
+  in
+  Pool.with_pool ~jobs:1 (fun pool -> check_points (measure (Some pool)));
+  Pool.with_pool ~jobs:2 ~domains:2 (fun pool -> check_points (measure (Some pool)));
+  Pool.with_pool ~jobs:4 ~domains:4 (fun pool -> check_points (measure (Some pool)))
 
 let test_exception_becomes_diagnostic () =
   Pool.with_pool ~jobs:4 (fun pool ->
@@ -191,6 +196,223 @@ let test_resolve_jobs () =
   | exception Checker.Invalid _ -> Alcotest.fail "expected one diagnostic"
   | _ -> Alcotest.fail "accepted jobs = 0"
 
+(* ---- work stealing ---- *)
+
+(* A deliberately uneven task cost so steals actually happen: task
+   costs vary by three orders of magnitude within one batch. *)
+let busy x =
+  let rounds = (x mod 7 * 3000) + 10 in
+  let acc = ref x in
+  for _ = 1 to rounds do
+    acc := ((!acc * 31) + 1) mod 1_000_003
+  done;
+  !acc
+
+let test_steal_determinism () =
+  (* Bit-identical results across jobs 1/2/4 and across repeated runs
+     at the same job count, on a batch uneven enough to force
+     stealing. *)
+  let items = List.init 200 (fun i -> i) in
+  let expected = List.map busy items in
+  List.iter
+    (fun domains ->
+      Pool.with_pool ~jobs:domains ~domains (fun pool ->
+          let a = Pool.map pool ~f:busy items in
+          let b = Pool.map pool ~f:busy items in
+          Alcotest.(check (list int))
+            (Printf.sprintf "domains=%d matches sequential" domains)
+            expected a;
+          Alcotest.(check (list int))
+            (Printf.sprintf "domains=%d repeat identical" domains)
+            expected b))
+    [ 1; 2; 4 ]
+
+let test_nested_map_deep () =
+  (* Three levels of nesting on two real domains: every waiting caller
+     must drive the deques for this to terminate. *)
+  Pool.with_pool ~jobs:2 ~domains:2 (fun pool ->
+      let got =
+        Pool.map pool
+          ~f:(fun a ->
+            Pool.map_reduce pool
+              ~f:(fun b ->
+                Pool.map_reduce pool ~f:(fun c -> a * b * c) ~reduce:( + ) ~init:0 [ 1; 2 ])
+              ~reduce:( + ) ~init:0 [ 1; 2; 3 ])
+          [ 1; 2 ]
+      in
+      (* sum over b in 1..3, c in 1..2 of a*b*c = a * 6 * 3 = 18a *)
+      Alcotest.(check (list int)) "nested three deep" [ 18; 36 ] got)
+
+let test_help_empty () =
+  Pool.with_pool ~jobs:2 ~domains:2 (fun pool ->
+      Alcotest.(check bool) "nothing runnable" false (Pool.help pool))
+
+(* ---- memo futures ---- *)
+
+let test_memo_exactly_once () =
+  (* 32 concurrent demands spread over 4 keys on 4 real domains: each
+     key's computation runs exactly once, and every demander gets the
+     one result. The sleep widens the in-flight window so demanders
+     genuinely race. *)
+  Pool.with_pool ~jobs:4 ~domains:4 (fun pool ->
+      let memo = Memo.create ~pool () in
+      let computed = Atomic.make 0 in
+      let got =
+        Pool.map pool
+          ~f:(fun i ->
+            let key = i mod 4 in
+            Memo.get memo key (fun () ->
+                Atomic.incr computed;
+                Unix.sleepf 0.005;
+                key * 10))
+          (List.init 32 (fun i -> i))
+      in
+      Alcotest.(check (list int))
+        "every demander sees the one result"
+        (List.init 32 (fun i -> i mod 4 * 10))
+        got;
+      Alcotest.(check int) "exactly one compute per key" 4 (Atomic.get computed);
+      Alcotest.(check int) "compute_count agrees" 4 (Memo.compute_count memo);
+      Alcotest.(check int) "four cells" 4 (Memo.length memo))
+
+let test_memo_single_key_contention () =
+  (* The fig14 regression in miniature: a whole batch demanding one
+     heavy key must cost one computation, not jobs computations. *)
+  Pool.with_pool ~jobs:4 ~domains:4 (fun pool ->
+      let memo = Memo.create ~pool () in
+      let computed = Atomic.make 0 in
+      let got =
+        Pool.map pool
+          ~f:(fun _ ->
+            Memo.get memo "only" (fun () ->
+                Atomic.incr computed;
+                Unix.sleepf 0.01;
+                42))
+          (List.init 16 (fun i -> i))
+      in
+      Alcotest.(check (list int)) "all 42" (List.init 16 (fun _ -> 42)) got;
+      Alcotest.(check int) "computed once" 1 (Atomic.get computed))
+
+let test_memo_failure_cached () =
+  let memo = Memo.create () in
+  let computed = ref 0 in
+  let demand () =
+    Memo.get memo "k" (fun () ->
+        incr computed;
+        failwith "boom")
+  in
+  (match demand () with
+  | _ -> Alcotest.fail "expected Failure"
+  | exception Failure m -> Alcotest.(check string) "owner's exception" "boom" m);
+  (* A second demand re-raises the published failure without
+     recomputing. *)
+  (match demand () with
+  | _ -> Alcotest.fail "expected cached Failure"
+  | exception Failure m -> Alcotest.(check string) "same exception" "boom" m);
+  Alcotest.(check int) "computed once despite two demands" 1 !computed;
+  Alcotest.(check int) "compute_count counts the one start" 1 (Memo.compute_count memo)
+
+let test_memo_reentrant_detected () =
+  let memo = Memo.create () in
+  match Memo.get memo "k" (fun () -> Memo.get memo "k" (fun () -> 1)) with
+  | _ -> Alcotest.fail "expected Invalid"
+  | exception Checker.Invalid (d :: _) ->
+      Alcotest.(check string) "re-entrant demand flagged" "FOM-E005" d.Diagnostic.code
+  | exception Checker.Invalid [] -> Alcotest.fail "empty diagnostics"
+
+let test_memo_find_opt () =
+  let memo = Memo.create () in
+  Alcotest.(check (option int)) "absent" None (Memo.find_opt memo "k");
+  Alcotest.(check int) "computes" 9 (Memo.get memo "k" (fun () -> 9));
+  Alcotest.(check (option int)) "present" (Some 9) (Memo.find_opt memo "k")
+
+(* ---- on-disk cache ---- *)
+
+let with_cache_dir f =
+  let dir = Filename.temp_file "fom-cache" ".d" in
+  Sys.remove dir;
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () -> f dir)
+
+let test_cache_roundtrip () =
+  with_cache_dir (fun dir ->
+      let key = Cache.digest [ "test"; Cache.part (1, "x"); "5" ] in
+      let computed = ref 0 in
+      let compute () =
+        incr computed;
+        [ 1.5; 2.5 ]
+      in
+      let cache = Cache.create ~dir in
+      Alcotest.(check (list (float 0.0))) "computed" [ 1.5; 2.5 ] (Cache.get cache ~key compute);
+      Alcotest.(check (pair int int)) "one miss" (0, 1) (Cache.stats cache);
+      (* A fresh handle on the same directory — a separate process —
+         hits the persisted entry. *)
+      let cache2 = Cache.create ~dir in
+      Alcotest.(check (list (float 0.0))) "hit" [ 1.5; 2.5 ] (Cache.get cache2 ~key compute);
+      Alcotest.(check (pair int int)) "one hit" (1, 0) (Cache.stats cache2);
+      Alcotest.(check int) "computed exactly once across runs" 1 !computed;
+      Alcotest.(check int) "clean runs report nothing" 0
+        (List.length (Cache.drain_diagnostics cache2)))
+
+let test_cache_corrupt_entry () =
+  with_cache_dir (fun dir ->
+      let cache = Cache.create ~dir in
+      let key = Cache.digest [ "test"; "corrupt" ] in
+      let oc = open_out_bin (Cache.entry_path cache ~key) in
+      output_string oc "this is not a marshaled entry";
+      close_out oc;
+      Alcotest.(check int) "recomputed" 7 (Cache.get cache ~key (fun () -> 7));
+      (match Cache.drain_diagnostics cache with
+      | [ d ] ->
+          Alcotest.(check string) "corrupt flagged" "FOM-E006" d.Diagnostic.code;
+          Alcotest.(check bool) "warning, not error" true
+            (d.Diagnostic.severity = Diagnostic.Warning)
+      | ds -> Alcotest.fail (Printf.sprintf "expected one FOM-E006, got %d" (List.length ds)));
+      (* The damaged file was deleted and replaced by the recomputed
+         entry, so the next demand is a clean hit. *)
+      Alcotest.(check int) "clean hit after repair" 7 (Cache.get cache ~key (fun () -> 8));
+      Alcotest.(check int) "no further diagnostics" 0
+        (List.length (Cache.drain_diagnostics cache)))
+
+let test_cache_stale_entry () =
+  with_cache_dir (fun dir ->
+      let cache = Cache.create ~dir in
+      let key = Cache.digest [ "test"; "stale" ] in
+      (* Forge an entry written by "another code version": a valid
+         marshaled (header, value) pair whose header cannot match. *)
+      let oc = open_out_bin (Cache.entry_path cache ~key) in
+      Marshal.to_channel oc ("fom-cache/0:obsolete:" ^ key, 999) [];
+      close_out oc;
+      Alcotest.(check int) "stale entry recomputed, not trusted" 7
+        (Cache.get cache ~key (fun () -> 7));
+      match Cache.drain_diagnostics cache with
+      | [ d ] -> Alcotest.(check string) "stale flagged" "FOM-E007" d.Diagnostic.code
+      | ds -> Alcotest.fail (Printf.sprintf "expected one FOM-E007, got %d" (List.length ds)))
+
+let test_cache_digest_separates () =
+  let base = [ "sim"; Cache.part (1, 2); "100" ] in
+  Alcotest.(check string) "stable" (Cache.digest base) (Cache.digest base);
+  Alcotest.(check bool) "parts change the key" true
+    (Cache.digest base <> Cache.digest [ "sim"; Cache.part (1, 3); "100" ]);
+  Alcotest.(check bool) "kind tag changes the key" true
+    (Cache.digest base <> Cache.digest [ "characterization"; Cache.part (1, 2); "100" ])
+
+let test_cache_dir_not_creatable () =
+  let file = Filename.temp_file "fom-cache" ".file" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove file)
+    (fun () ->
+      match Cache.create ~dir:file with
+      | _ -> Alcotest.fail "expected Invalid"
+      | exception Checker.Invalid (d :: _) ->
+          Alcotest.(check string) "E006" "FOM-E006" d.Diagnostic.code
+      | exception Checker.Invalid [] -> Alcotest.fail "empty diagnostics")
+
 let prop_map_agrees_with_list_map =
   QCheck.Test.make ~name:"pool map agrees with List.map and preserves order" ~count:50
     QCheck.(list small_int)
@@ -210,6 +432,19 @@ let suite =
       Alcotest.test_case "try_map partial results" `Quick test_try_map_partial;
       Alcotest.test_case "map_reduce folds in order" `Quick test_map_reduce_order;
       Alcotest.test_case "nested map on one pool" `Quick test_nested_map;
+      Alcotest.test_case "steal determinism" `Quick test_steal_determinism;
+      Alcotest.test_case "nested map three deep" `Quick test_nested_map_deep;
+      Alcotest.test_case "help with empty deques" `Quick test_help_empty;
+      Alcotest.test_case "memo exactly once" `Quick test_memo_exactly_once;
+      Alcotest.test_case "memo single-key contention" `Quick test_memo_single_key_contention;
+      Alcotest.test_case "memo failure cached" `Quick test_memo_failure_cached;
+      Alcotest.test_case "memo re-entrant demand" `Quick test_memo_reentrant_detected;
+      Alcotest.test_case "memo find_opt" `Quick test_memo_find_opt;
+      Alcotest.test_case "cache roundtrip" `Quick test_cache_roundtrip;
+      Alcotest.test_case "cache corrupt entry" `Quick test_cache_corrupt_entry;
+      Alcotest.test_case "cache stale entry" `Quick test_cache_stale_entry;
+      Alcotest.test_case "cache digest separates" `Quick test_cache_digest_separates;
+      Alcotest.test_case "cache dir not creatable" `Quick test_cache_dir_not_creatable;
       Alcotest.test_case "shutdown rejects use" `Quick test_shutdown_rejects_use;
       Alcotest.test_case "default jobs positive" `Quick test_default_jobs_positive;
       Alcotest.test_case "resolve_jobs" `Quick test_resolve_jobs;
