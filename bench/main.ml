@@ -63,6 +63,8 @@ type options = {
   mutable json : string option;
   mutable baseline : string option;
   mutable git_rev : string;
+  mutable metrics : bool;
+  mutable trace_out : string option;
 }
 
 let parse_args () =
@@ -78,6 +80,8 @@ let parse_args () =
       json = None;
       baseline = None;
       git_rev = Option.value (Sys.getenv_opt "FOM_GIT_REV") ~default:"unknown";
+      metrics = false;
+      trace_out = None;
     }
   in
   let split s = String.split_on_char ',' s |> List.map String.trim in
@@ -110,6 +114,14 @@ let parse_args () =
       ( "--git-rev",
         Arg.String (fun rev -> options.git_rev <- rev),
         "REV revision recorded in the JSON baseline (default: $FOM_GIT_REV or \"unknown\")" );
+      ( "--metrics",
+        Arg.Unit (fun () -> options.metrics <- true),
+        " print an observability metrics table after the run (and record a \"metrics\" \
+         block in --json); exhibit output is unchanged" );
+      ( "--trace-out",
+        Arg.String (fun path -> options.trace_out <- Some path),
+        "PATH write a Chrome trace-event JSON of the run (load in Perfetto or \
+         chrome://tracing); exhibit output is unchanged" );
     ]
   in
   Arg.parse (Arg.align spec)
@@ -192,7 +204,10 @@ let run_pass ~jobs ?cache_dir ~paired ~csv_dir ~scale selected =
       let timed, sequential =
         List.fold_left
           (fun (timed, sequential) (name, _, run) ->
-            let dt = time_segment (fun () -> run ctx) in
+            (* Only the primary pass is traced: replica re-timings would
+               double every span and skew the per-exhibit picture. *)
+            let traced () = Fom_obs.Span.with_ (Fom_obs.Span.id name) (fun () -> run ctx) in
+            let dt = time_segment traced in
             Printf.printf "[%s done in %.1fs]\n%!" name dt;
             match rounds with
             | [] -> ((name, dt) :: timed, sequential)
@@ -301,6 +316,11 @@ let json_report ~options ~jobs ~timed ~sequential ~cache_stats ~total_seconds =
         [ ("cache_hits", J.Int hits); ("cache_misses", J.Int misses) ]
     | None -> []
   in
+  (* Optional "metrics" block (schema documented in README): present
+     only when an observability sink was enabled for the run. *)
+  let metrics =
+    if Fom_obs.Sink.enabled () then [ ("metrics", Fom_obs.Export.metrics_json ()) ] else []
+  in
   J.Obj
     ([
        ("schema", J.String "fom-bench/1");
@@ -313,7 +333,8 @@ let json_report ~options ~jobs ~timed ~sequential ~cache_stats ~total_seconds =
     @ [
         ("exhibits", J.List (List.map exhibit timed));
         ("total_seconds", J.Float total_seconds);
-      ])
+      ]
+    @ metrics)
 
 (* The honest-speedup report: every exhibit whose sequential time is
    above the noise floor and that the parallel pass made *slower* gets
@@ -356,10 +377,10 @@ let () =
             names;
           List.filter (fun (name, _, _) -> List.mem name names) exhibits
     in
-    let jobs, jobs_warnings = Fom_exec.Pool.resolve_jobs ?requested:options.jobs () in
-    List.iter
-      (fun d -> prerr_endline (Fom_check.Diagnostic.to_string d))
-      jobs_warnings;
+    let jobs, jobs_diags = Fom_exec.Pool.resolve_jobs ?requested:options.jobs () in
+    List.iter (fun d -> prerr_endline (Fom_check.Diagnostic.to_string d)) jobs_diags;
+    if List.exists Fom_check.Diagnostic.is_error jobs_diags then exit 2;
+    if options.metrics || options.trace_out <> None then Fom_obs.Sink.enable ();
     Printf.printf
       "First-order superscalar model reproduction harness (scale %.2f, %d exhibits, %d jobs)\n"
       options.scale (List.length selected) jobs;
@@ -391,6 +412,19 @@ let () =
           (json_report ~options ~jobs ~timed ~sequential ~cache_stats ~total_seconds:total);
         Printf.printf "wrote timing baseline to %s\n" path);
     Printf.printf "\nTotal harness time: %.1fs\n" total;
+    (* Observability output comes after every exhibit line so the
+       exhibit stdout stays byte-identical with the flags off. *)
+    if options.metrics then begin
+      print_newline ();
+      print_string (Fom_util.Table.heading "Observability metrics");
+      let header, rows = Fom_obs.Export.metrics_rows () in
+      Fom_util.Table.print ~header rows
+    end;
+    (match options.trace_out with
+    | None -> ()
+    | Some path ->
+        Fom_obs.Export.write_chrome_trace ~path;
+        Printf.printf "wrote Chrome trace to %s (load in Perfetto or chrome://tracing)\n" path);
     match options.baseline with
     | None -> ()
     | Some path -> (

@@ -90,6 +90,25 @@ let make_tests () =
               (Fom_exec.Pool.map pool
                  ~f:(fun _ -> Fom_exec.Memo.get memo "key" (fun () -> 42))
                  demands)));
+    (* Observability overhead with the sink in whatever state the
+       harness left it (disabled unless --metrics/--trace-out): bounds
+       what a span site and a counter site charge the instrumented hot
+       paths. Disabled, both should measure as one atomic load and a
+       branch. *)
+    Test.make ~name:"obs span site (sink as-is)"
+      (Staged.stage
+         (let s = Fom_obs.Span.id "bench.overhead" in
+          fun () ->
+            for _ = 1 to 100 do
+              Fom_obs.Span.with_ s ignore
+            done));
+    Test.make ~name:"obs counter site (sink as-is)"
+      (Staged.stage
+         (let c = Fom_obs.Metrics.counter "bench.overhead_ticks" in
+          fun () ->
+            for _ = 1 to 100 do
+              Fom_obs.Metrics.incr c
+            done));
   ]
 
 let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]

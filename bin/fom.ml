@@ -325,9 +325,27 @@ let check_cmd =
              included), the model parameters and $(b,-n). Corrupt or stale entries are \
              recomputed and surface in the report as FOM-E006/FOM-E007 warnings.")
   in
-  let run width depth window rob workload deep n jobs cache_dir seed =
+  let metrics_flag =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:
+            "Print an observability metrics table (pool, memo, cache and simulator \
+             counters) after the report; the report itself is unchanged.")
+  in
+  let trace_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Write a Chrome trace-event JSON of the run to $(docv) (load in Perfetto or \
+             chrome://tracing).")
+  in
+  let run width depth window rob workload deep n jobs cache_dir seed metrics trace_out =
     let module C = Fom_check.Checker in
     let module D = Fom_check.Diagnostic in
+    if metrics || trace_out <> None then Fom_obs.Sink.enable ();
     let params = params_of width depth window rob in
     let machine = machine_of width depth window rob in
     let workloads = match workload with Some w -> [ w ] | None -> all_workloads in
@@ -406,12 +424,29 @@ let check_cmd =
         @ deep_results)
     in
     Format.printf "%a@." C.pp_report diags;
+    (match cache with
+    | Some c ->
+        let hits, misses = Fom_exec.Cache.stats c in
+        Printf.printf "cache: %d hits, %d misses in %s\n" hits misses
+          (Option.value cache_dir ~default:"")
+    | None -> ());
+    if metrics then begin
+      let header, rows = Fom_obs.Export.metrics_rows () in
+      print_newline ();
+      Fom_util.Table.print ~header rows
+    end;
+    (match trace_out with
+    | None -> ()
+    | Some path ->
+        Fom_obs.Export.write_chrome_trace ~path;
+        Printf.printf "wrote Chrome trace to %s (load in Perfetto or chrome://tracing)\n" path);
     if C.has_errors diags then exit 1
   in
   let term =
     Term.(
       const run $ width_arg $ depth_arg $ window_arg $ rob_arg $ workload_opt $ deep_flag
-      $ instructions_arg 20_000 $ jobs_arg $ cache_dir_arg $ seed_arg)
+      $ instructions_arg 20_000 $ jobs_arg $ cache_dir_arg $ seed_arg $ metrics_flag
+      $ trace_out_arg)
   in
   Cmd.v
     (Cmd.info "check"

@@ -4,6 +4,10 @@ type t = { points : point list; fit : Fom_util.Fit.power_law }
 
 let default_windows = [ 4; 8; 16; 32; 64; 128; 256 ]
 
+(* Observability (no-ops unless an Fom_obs sink is enabled). *)
+let s_point = Fom_obs.Span.id "iw.point"
+let h_window = Fom_obs.Metrics.histogram "iw.window_size"
+
 let check_windows windows =
   Fom_check.Checker.ensure ~code:"FOM-I030" ~path:"iw_curve.windows" (windows <> [])
     "at least one window size is required"
@@ -13,7 +17,9 @@ let measure_packed ?pool ?(windows = default_windows) ?(n = 30_000) ?latencies ?
   check_windows windows;
   let windows = List.sort_uniq compare windows in
   let point window =
-    { window; ipc = Iw_sim.ipc_of_packed ?latencies ?issue_limit packed ~window ~n }
+    Fom_obs.Metrics.observe h_window window;
+    Fom_obs.Span.with_ s_point (fun () ->
+        { window; ipc = Iw_sim.ipc_of_packed ?latencies ?issue_limit packed ~window ~n })
   in
   let points =
     match pool with

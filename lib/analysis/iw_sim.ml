@@ -6,6 +6,18 @@ let ring_bits = 16
 let ring_size = 1 lsl ring_bits
 let ring_mask = ring_size - 1
 
+(* Observability (no-ops unless an Fom_obs sink is enabled): one
+   [iw.points] tick per IPC evaluation, plus the cycles and
+   instructions it simulated. *)
+let m_points = Fom_obs.Metrics.counter "iw.points"
+let m_cycles = Fom_obs.Metrics.counter "iw.cycles"
+let m_instructions = Fom_obs.Metrics.counter "iw.instructions"
+
+let record_point ~cycles ~instructions =
+  Fom_obs.Metrics.incr m_points;
+  Fom_obs.Metrics.add m_cycles cycles;
+  Fom_obs.Metrics.add m_instructions instructions
+
 let check_shape ~window ~n =
   let ensure = Fom_check.Checker.ensure ~code:"FOM-I030" in
   ensure ~path:"iw_sim.window" (window >= 1) "window size must be positive";
@@ -79,6 +91,7 @@ let ipc_of_source ?(latencies = Fom_isa.Latency.unit) ?issue_limit source ~windo
     issued_total := !issued_total + !issued;
     incr cycle
   done;
+  record_point ~cycles:!cycle ~instructions:!issued_total;
   float_of_int !issued_total /. float_of_int !cycle
 
 (* Event-driven kernel over a packed trace.
@@ -240,6 +253,7 @@ let ipc_of_packed ?(latencies = Fom_isa.Latency.unit) ?issue_limit packed ~windo
     issued_total := !issued_total + !issued;
     incr cycle
   done;
+  record_point ~cycles:!cycle ~instructions:!issued_total;
   float_of_int !issued_total /. float_of_int !cycle
 
 let ipc ?latencies ?issue_limit program ~window ~n =

@@ -6,6 +6,18 @@ module Diagnostic = Fom_check.Diagnostic
    reported FOM-E007 when their file is revisited). *)
 let code_version = "fom-cache/1:2026-08"
 
+(* Observability (no-ops unless an Fom_obs sink is enabled). Byte
+   counters track what actually crossed the filesystem boundary:
+   [cache.bytes_read] whole entry files deserialized on a hit,
+   [cache.bytes_written] marshaled entries persisted on a miss. *)
+let m_hits = Fom_obs.Metrics.counter "cache.hits"
+let m_misses = Fom_obs.Metrics.counter "cache.misses"
+let m_bytes_read = Fom_obs.Metrics.counter "cache.bytes_read"
+let m_bytes_written = Fom_obs.Metrics.counter "cache.bytes_written"
+let h_entry_bytes = Fom_obs.Metrics.histogram "cache.entry_bytes"
+let s_read = Fom_obs.Span.id "cache.read"
+let s_write = Fom_obs.Span.id "cache.write"
+
 type t = {
   dir : string;
   lock : Mutex.t;  (* guards diagnostics and counters *)
@@ -52,8 +64,12 @@ let add_diag t d =
 let bump t outcome =
   Mutex.lock t.lock;
   (match outcome with
-  | `Hit -> t.hits <- t.hits + 1
-  | `Miss -> t.misses <- t.misses + 1);
+  | `Hit ->
+      t.hits <- t.hits + 1;
+      Fom_obs.Metrics.incr m_hits
+  | `Miss ->
+      t.misses <- t.misses + 1;
+      Fom_obs.Metrics.incr m_misses);
   Mutex.unlock t.lock
 
 let stats t =
@@ -83,10 +99,15 @@ let read t path ~key =
   else
     let expected = code_version ^ ":" ^ key in
     match
-      let ic = open_in_bin path in
-      Fun.protect
-        ~finally:(fun () -> close_in_noerr ic)
-        (fun () -> (Marshal.from_channel ic : string * _))
+      Fom_obs.Span.with_ s_read (fun () ->
+          let ic = open_in_bin path in
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () ->
+              let bytes = in_channel_length ic in
+              Fom_obs.Metrics.add m_bytes_read bytes;
+              Fom_obs.Metrics.observe h_entry_bytes bytes;
+              (Marshal.from_channel ic : string * _)))
     with
     | header, value when String.equal header expected -> Some value
     | _, _ ->
@@ -109,12 +130,14 @@ let read t path ~key =
    warning, never a crash — the value was computed either way. *)
 let write t path ~key value =
   match
-    let tmp = Filename.temp_file ~temp_dir:t.dir "entry" ".tmp" in
-    let oc = open_out_bin tmp in
-    Fun.protect
-      ~finally:(fun () -> close_out_noerr oc)
-      (fun () -> Marshal.to_channel oc (code_version ^ ":" ^ key, value) []);
-    Sys.rename tmp path
+    Fom_obs.Span.with_ s_write (fun () ->
+        let data = Marshal.to_string (code_version ^ ":" ^ key, value) [] in
+        Fom_obs.Metrics.add m_bytes_written (String.length data);
+        Fom_obs.Metrics.observe h_entry_bytes (String.length data);
+        let tmp = Filename.temp_file ~temp_dir:t.dir "entry" ".tmp" in
+        let oc = open_out_bin tmp in
+        Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc data);
+        Sys.rename tmp path)
   with
   | () -> ()
   | exception exn ->

@@ -1,5 +1,15 @@
 module Checker = Fom_check.Checker
 
+(* Observability (no-ops unless an Fom_obs sink is enabled):
+   [memo.computes] counts owned first computations, [memo.joins]
+   demands served by an existing cell, and [memo.contention] every
+   help-or-sleep iteration a demander spends waiting on another
+   domain's in-flight compute. *)
+let m_computes = Fom_obs.Metrics.counter "memo.computes"
+let m_joins = Fom_obs.Metrics.counter "memo.joins"
+let m_contention = Fom_obs.Metrics.counter "memo.contention"
+let s_compute = Fom_obs.Span.id "memo.compute"
+
 (* Each key owns a future cell: the first demander claims it (under
    the table lock) and computes outside any lock; later demanders find
    the claimed cell and wait on its condition — helping drain the pool
@@ -69,6 +79,7 @@ let rec await t cell =
       if owner = self_id () then
         Checker.ensure ~code:"FOM-E005" ~path:"exec.memo" false
           "re-entrant demand: this domain is already computing this key";
+      Fom_obs.Metrics.incr m_contention;
       let helped = match t.pool with Some pool -> Pool.help pool | None -> false in
       if not helped then begin
         Mutex.lock cell.mutex;
@@ -97,9 +108,13 @@ let get t key compute =
         (cell, true)
   in
   Mutex.unlock t.lock;
-  if not owner then await t cell
-  else
-    match compute () with
+  if not owner then begin
+    Fom_obs.Metrics.incr m_joins;
+    await t cell
+  end
+  else begin
+    Fom_obs.Metrics.incr m_computes;
+    match Fom_obs.Span.with_ s_compute compute with
     | v ->
         publish cell (Done v);
         v
@@ -107,6 +122,7 @@ let get t key compute =
         let bt = Printexc.get_raw_backtrace () in
         publish cell (Failed (exn, bt));
         Printexc.raise_with_backtrace exn bt
+  end
 
 let find_opt t key =
   Mutex.lock t.lock;

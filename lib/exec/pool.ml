@@ -1,6 +1,23 @@
 module Checker = Fom_check.Checker
 module Diagnostic = Fom_check.Diagnostic
 
+(* Observability (no-ops unless an Fom_obs sink is enabled): scheduler
+   balance counters, a steal-time victim-depth histogram, and a span
+   around every task body so a trace shows which domain ran what. *)
+let m_tasks = Fom_obs.Metrics.counter "pool.tasks"
+let m_steals = Fom_obs.Metrics.counter "pool.steals"
+let m_stolen = Fom_obs.Metrics.counter "pool.stolen_tasks"
+let m_helps = Fom_obs.Metrics.counter "pool.helps"
+let m_idle = Fom_obs.Metrics.counter "pool.idle_waits"
+let h_victim_depth = Fom_obs.Metrics.histogram "pool.steal_victim_depth"
+let g_domains = Fom_obs.Metrics.gauge "pool.domains"
+let g_jobs = Fom_obs.Metrics.gauge "pool.jobs"
+let s_task = Fom_obs.Span.id "pool.task"
+
+let run_task task =
+  Fom_obs.Metrics.incr m_tasks;
+  Fom_obs.Span.with_ s_task task
+
 (* Tasks scheduled on the pool are pre-wrapped closures that never
    raise: every per-task exception is captured into the caller's
    result array before the closure returns. *)
@@ -68,38 +85,67 @@ type t = {
 
 let recommended_domain_count () = Domain.recommended_domain_count ()
 
-let default_jobs () =
+(* The FOM_JOBS environment variable, parsed but not validated: [None]
+   when unset or blank, [Some (Ok jobs)] for a positive integer,
+   [Some (Error d)] with a FOM-E001 diagnostic otherwise. *)
+let env_jobs () =
   match Sys.getenv_opt "FOM_JOBS" with
-  | None -> recommended_domain_count ()
+  | None -> None
   | Some s -> (
-      match int_of_string_opt (String.trim s) with
-      | Some jobs when jobs >= 1 -> jobs
-      | Some _ | None ->
-          Checker.ensure ~code:"FOM-E001" ~path:"exec.FOM_JOBS" false
-            "FOM_JOBS must be a positive integer";
-          1)
+      match String.trim s with
+      | "" -> None
+      | trimmed -> (
+          match int_of_string_opt trimmed with
+          | Some jobs when jobs >= 1 -> Some (Ok jobs)
+          | Some _ | None ->
+              Some
+                (Error
+                   (Diagnostic.make ~code:"FOM-E001" ~path:"exec.FOM_JOBS"
+                      (Printf.sprintf
+                         "FOM_JOBS=%S is not a positive integer; set a worker count of 1 \
+                          or more (or unset it to use the machine's core count)"
+                         s)))))
 
+let default_jobs () =
+  match env_jobs () with
+  | None -> recommended_domain_count ()
+  | Some (Ok jobs) -> jobs
+  | Some (Error d) -> raise (Checker.Invalid [ d ])
+
+let oversubscription_warning jobs =
+  let recommended = recommended_domain_count () in
+  if jobs > recommended then
+    [
+      Diagnostic.make ~severity:Diagnostic.Warning ~code:"FOM-E004" ~path:"exec.jobs"
+        (Printf.sprintf
+           "%d worker domains oversubscribe this machine (%d recommended); the \
+            pool caps the domains it actually runs at the recommended count, so \
+            results are unchanged but expect no further speedup"
+           jobs recommended);
+    ]
+  else []
+
+(* Harness-facing resolution: never raises. An invalid request — an
+   explicit non-positive [?requested] count or a malformed/non-positive
+   FOM_JOBS — yields a safe sequential fallback of 1 worker alongside
+   an error-severity FOM-E001 diagnostic, so `fom check` folds it into
+   its report (and exits 1) and the bench prints it and aborts, instead
+   of the old behavior of an uncaught exception mid-startup. *)
 let resolve_jobs ?requested () =
   match requested with
-  | None -> (default_jobs (), [])
+  | None -> (
+      match env_jobs () with
+      | None -> (recommended_domain_count (), [])
+      | Some (Ok jobs) -> (jobs, oversubscription_warning jobs)
+      | Some (Error d) -> (1, [ d ]))
   | Some jobs ->
-      Checker.ensure ~code:"FOM-E001" ~path:"exec.jobs" (jobs >= 1)
-        "worker count must be at least 1";
-      let recommended = recommended_domain_count () in
-      let warnings =
-        if jobs > recommended then
+      if jobs < 1 then
+        ( 1,
           [
-            Diagnostic.make ~severity:Diagnostic.Warning ~code:"FOM-E004"
-              ~path:"exec.jobs"
-              (Printf.sprintf
-                 "%d worker domains oversubscribe this machine (%d recommended); the \
-                  pool caps the domains it actually runs at the recommended count, so \
-                  results are unchanged but expect no further speedup"
-                 jobs recommended);
-          ]
-        else []
-      in
-      (jobs, warnings)
+            Diagnostic.make ~code:"FOM-E001" ~path:"exec.jobs"
+              (Printf.sprintf "requested worker count %d is not a positive integer" jobs);
+          ] )
+      else (jobs, oversubscription_warning jobs)
 
 let self_id () = (Domain.self () :> int)
 
@@ -138,15 +184,18 @@ let take_for t slot =
       else begin
         let v = t.deques.(!victim) in
         let task = Deque.pop_front v in
+        Fom_obs.Metrics.incr m_steals;
+        Fom_obs.Metrics.observe h_victim_depth !best;
         (match slot with
         | Some s when s <> !victim ->
             (* steal-half: the first stolen task runs immediately, the
                rest land on the thief's deque. *)
             let half = (!best + 1) / 2 in
+            Fom_obs.Metrics.add m_stolen half;
             for _ = 2 to half do
               Deque.push_back t.deques.(s) (Deque.pop_front v)
             done
-        | Some _ | None -> ());
+        | Some _ | None -> Fom_obs.Metrics.incr m_stolen);
         Some task
       end
 
@@ -156,11 +205,12 @@ let rec worker_loop t slot =
     match take_for t (Some slot) with
     | Some task ->
         Mutex.unlock t.mutex;
-        task ();
+        run_task task;
         worker_loop t slot
     | None ->
         if t.stopped then Mutex.unlock t.mutex
         else begin
+          Fom_obs.Metrics.incr m_idle;
           Condition.wait t.activity t.mutex;
           next ()
         end
@@ -196,6 +246,8 @@ let create ?jobs ?domains () =
       workers = [];
     }
   in
+  Fom_obs.Metrics.set g_domains domains;
+  Fom_obs.Metrics.set g_jobs jobs;
   (* The creating domain is participant 0; only the remaining
      domains - 1 run as spawned domains. *)
   Hashtbl.replace t.slots (self_id ()) 0;
@@ -233,7 +285,8 @@ let help t =
   match take_for t (slot_of_current t) with
   | Some task ->
       Mutex.unlock t.mutex;
-      task ();
+      Fom_obs.Metrics.incr m_helps;
+      run_task task;
       true
   | None ->
       Mutex.unlock t.mutex;
@@ -271,7 +324,7 @@ let run_tasks t tasks =
       match take_for t slot with
       | Some task ->
           Mutex.unlock t.mutex;
-          task ();
+          run_task task;
           Mutex.lock t.mutex;
           drive ()
       | None ->
@@ -323,7 +376,7 @@ let try_map (type b) t ~(f : _ -> b) items =
        Checker.ensure ~code:"FOM-E003" ~path:"exec.map" false
          "pool was used after shutdown";
      for index = 0 to n - 1 do
-       capture ~f ~results items index
+       run_task (fun () -> capture ~f ~results items index)
      done
    end
    else

@@ -56,20 +56,28 @@ val recommended_domain_count : unit -> int
     harnesses that default through {!resolve_jobs} run sequentially. *)
 
 val default_jobs : unit -> int
-(** The [FOM_JOBS] environment variable if set (a positive integer,
-    else a [FOM-E001] diagnostic is raised), otherwise
-    {!recommended_domain_count}. *)
+(** The [FOM_JOBS] environment variable if set and non-blank (a
+    positive integer, else a [FOM-E001] diagnostic is raised),
+    otherwise {!recommended_domain_count}. *)
 
 val resolve_jobs : ?requested:int -> unit -> int * Fom_check.Diagnostic.t list
-(** Resolve a harness's worker count. With no [?requested] value this
-    is {!default_jobs} — in particular, sequential when the machine
-    recommends a single domain and [FOM_JOBS] is unset. An explicit
-    [?requested] count wins (it must be positive — [FOM-E001]
-    otherwise), but when it exceeds {!recommended_domain_count} a
-    [FOM-E004] {e warning} diagnostic is returned alongside it: the
-    pool caps the domains it actually runs at the recommended count
-    (see {!create}), so oversubscription never changes results, it
-    only fails to help. *)
+(** Resolve a harness's worker count; never raises. With no
+    [?requested] value this follows [FOM_JOBS], falling back to
+    {!recommended_domain_count} — in particular, sequential when the
+    machine recommends a single domain and [FOM_JOBS] is unset. An
+    explicit [?requested] count wins. Diagnostics come back alongside
+    the count instead of being raised, so harnesses can report them
+    through their normal channel:
+    - a non-positive [?requested] count, or a malformed or
+      non-positive [FOM_JOBS] value, yields a [FOM-E001] {e error}
+      diagnostic and a safe sequential fallback of [1] — callers
+      should treat the error as fatal ([fom check] folds it into its
+      report and exits 1; the bench prints it and aborts);
+    - a count exceeding {!recommended_domain_count} (requested or from
+      [FOM_JOBS]) yields a [FOM-E004] {e warning}: the pool caps the
+      domains it actually runs at the recommended count (see
+      {!create}), so oversubscription never changes results, it only
+      fails to help. *)
 
 val create : ?jobs:int -> ?domains:int -> unit -> t
 (** [create ~jobs ()] starts a pool advertising [jobs] workers

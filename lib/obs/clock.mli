@@ -1,0 +1,10 @@
+(** Monotonic time source for span timestamps.
+
+    Wraps the CLOCK_MONOTONIC stub already shipped with the Bechamel
+    toolchain, so timestamps never jump backwards with wall-clock
+    adjustments. Nanosecond resolution in a native [int] — 63 bits of
+    nanoseconds covers ~292 years of uptime. *)
+
+val now_ns : unit -> int
+(** Current monotonic time in nanoseconds. Only differences are
+    meaningful; the epoch is unspecified (typically boot time). *)

@@ -1,0 +1,2 @@
+let enabled = Atomic.make false
+let is_on () = Atomic.get enabled

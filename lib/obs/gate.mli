@@ -1,0 +1,13 @@
+(** The global recording gate (internal to [Fom_obs]).
+
+    A single atomic flag read by every instrumentation site before it
+    touches a buffer or a metric cell. The default is [false] — the
+    no-op sink — so instrumented hot paths cost one atomic load and a
+    branch, and results stay bit-identical whether or not a consumer
+    ever looks at the observability layer. Use {!Sink.enable} /
+    {!Sink.disable} rather than flipping this directly. *)
+
+val enabled : bool Atomic.t
+
+val is_on : unit -> bool
+(** [Atomic.get enabled]. *)

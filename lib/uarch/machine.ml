@@ -8,6 +8,15 @@ exception Cycle_limit_exceeded
 
 type kernel = Scan | Event
 
+(* Observability (no-ops unless an Fom_obs sink is enabled). Counters
+   accumulate across every machine in the process; [sim.events] counts
+   ready-heap insertions — the event kernel's unit of work. *)
+let m_runs = Fom_obs.Metrics.counter "sim.runs"
+let m_cycles = Fom_obs.Metrics.counter "sim.cycles"
+let m_instructions = Fom_obs.Metrics.counter "sim.instructions"
+let m_events = Fom_obs.Metrics.counter "sim.events"
+let s_run = Fom_obs.Span.id "sim.run"
+
 (* The machine's working view of one in-flight instruction: plain
    immediate fields only, decoded once at fetch. [deps] is a shared
    backing array ([dep_lo], [dep_n] delimit this instruction's slice):
@@ -96,6 +105,7 @@ type t = {
   (* bookkeeping *)
   mutable cycle : int;
   mutable retired : int;
+  mutable wake_events : int;  (* ready-heap insertions, for sim.events *)
   (* optional per-cycle recording *)
   mutable recording : bool;
   mutable issued_this_cycle : int;
@@ -163,6 +173,7 @@ let create_feed ?(kernel = Event) config feed =
     fu_busy = Array.make Opclass.count 0;
     cycle = 0;
     retired = 0;
+    wake_events = 0;
     recording = false;
     issued_this_cycle = 0;
     issue_record = Fom_util.Int_buffer.create ();
@@ -383,6 +394,7 @@ let issue_scan t =
 let heap_push t v =
   if t.heap_len >= Array.length t.heap then
     Fom_check.Checker.internal_error "ready-heap overflow";
+  t.wake_events <- t.wake_events + 1;
   let heap = t.heap in
   let k = ref t.heap_len in
   t.heap_len <- t.heap_len + 1;
@@ -670,10 +682,16 @@ let run ?cycle_limit t ~n =
      be resumed with successive [run] calls. *)
   let limit = t.cycle + Option.value cycle_limit ~default:((250 * n) + 100_000) in
   let target = t.retired + n in
-  while t.retired < target do
-    if t.cycle > limit then raise Cycle_limit_exceeded;
-    step t
-  done;
+  let c0 = t.cycle and r0 = t.retired and e0 = t.wake_events in
+  Fom_obs.Span.with_ s_run (fun () ->
+      while t.retired < target do
+        if t.cycle > limit then raise Cycle_limit_exceeded;
+        step t
+      done);
+  Fom_obs.Metrics.incr m_runs;
+  Fom_obs.Metrics.add m_cycles (t.cycle - c0);
+  Fom_obs.Metrics.add m_instructions (t.retired - r0);
+  Fom_obs.Metrics.add m_events (t.wake_events - e0);
   let mean sum = float_of_int sum /. float_of_int (Stdlib.max 1 t.cycle) in
   let cache_stats = Hierarchy.stats t.hierarchy in
   {

@@ -189,12 +189,57 @@ let test_resolve_jobs () =
       Alcotest.(check bool) "warning severity" true
         (d.Diagnostic.severity = Diagnostic.Warning)
   | ds -> Alcotest.fail (Printf.sprintf "expected one FOM-E004, got %d" (List.length ds)));
-  (* A non-positive request is rejected outright. *)
-  match Pool.resolve_jobs ~requested:0 () with
-  | exception Checker.Invalid [ d ] ->
-      Alcotest.(check string) "E001" "FOM-E001" d.Diagnostic.code
-  | exception Checker.Invalid _ -> Alcotest.fail "expected one diagnostic"
-  | _ -> Alcotest.fail "accepted jobs = 0"
+  (* A non-positive request comes back as a FOM-E001 *error*
+     diagnostic with a sequential fallback — never an exception, so
+     harnesses report it through their own channel and abort. *)
+  let check_invalid label (jobs, diags) =
+    Alcotest.(check int) (label ^ ": sequential fallback") 1 jobs;
+    match diags with
+    | [ d ] ->
+        Alcotest.(check string) (label ^ ": code") "FOM-E001" d.Diagnostic.code;
+        Alcotest.(check bool) (label ^ ": error severity") true (Diagnostic.is_error d)
+    | ds -> Alcotest.fail (Printf.sprintf "%s: expected one FOM-E001, got %d" label (List.length ds))
+  in
+  check_invalid "requested 0" (Pool.resolve_jobs ~requested:0 ());
+  check_invalid "requested -2" (Pool.resolve_jobs ~requested:(-2) ())
+
+let test_resolve_jobs_env () =
+  (* FOM_JOBS gets the same validation as --jobs: malformed or
+     non-positive values are a FOM-E001 error with a sequential
+     fallback, not a silent fall-through; blank means unset. *)
+  let original = Sys.getenv_opt "FOM_JOBS" in
+  let set v = Unix.putenv "FOM_JOBS" v in
+  Fun.protect
+    ~finally:(fun () -> set (Option.value original ~default:""))
+    (fun () ->
+      let invalid label v =
+        set v;
+        match Pool.resolve_jobs () with
+        | 1, [ d ] ->
+            Alcotest.(check string) (label ^ ": code") "FOM-E001" d.Diagnostic.code;
+            Alcotest.(check bool) (label ^ ": error severity") true (Diagnostic.is_error d)
+        | jobs, ds ->
+            Alcotest.fail
+              (Printf.sprintf "%s: expected (1, [FOM-E001]), got (%d, %d diags)" label jobs
+                 (List.length ds))
+      in
+      invalid "malformed" "abc";
+      invalid "zero" "0";
+      invalid "negative" "-3";
+      set "1";
+      let jobs, diags = Pool.resolve_jobs () in
+      Alcotest.(check int) "FOM_JOBS=1 honored" 1 jobs;
+      Alcotest.(check int) "FOM_JOBS=1 silent" 0 (List.length diags);
+      set "   ";
+      let jobs, diags = Pool.resolve_jobs () in
+      Alcotest.(check int) "blank means unset" (Pool.recommended_domain_count ()) jobs;
+      Alcotest.(check int) "blank is silent" 0 (List.length diags);
+      (* An explicit request wins over the environment, even an
+         invalid environment. *)
+      set "abc";
+      let jobs, diags = Pool.resolve_jobs ~requested:1 () in
+      Alcotest.(check int) "request beats env" 1 jobs;
+      Alcotest.(check int) "request beats invalid env" 0 (List.length diags))
 
 (* ---- work stealing ---- *)
 
@@ -448,6 +493,7 @@ let suite =
       Alcotest.test_case "shutdown rejects use" `Quick test_shutdown_rejects_use;
       Alcotest.test_case "default jobs positive" `Quick test_default_jobs_positive;
       Alcotest.test_case "resolve_jobs" `Quick test_resolve_jobs;
+      Alcotest.test_case "resolve_jobs FOM_JOBS validation" `Quick test_resolve_jobs_env;
       Alcotest.test_case "split_seeds deterministic" `Quick test_split_seeds_deterministic;
       Alcotest.test_case "split_n matches split" `Quick test_split_n_matches_split;
       Alcotest.test_case "source seed override" `Quick test_source_seed_override;

@@ -3,6 +3,7 @@ let () =
     [
       Suite_check.suite;
       Suite_exec.suite;
+      Suite_obs.suite;
       Suite_util.suite;
       Suite_isa.suite;
       Suite_trace.suite;

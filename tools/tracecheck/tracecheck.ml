@@ -1,0 +1,108 @@
+(* tracecheck: structural validator for the Chrome trace-event JSON the
+   harness writes with --trace-out. CI runs it against the bench-smoke
+   trace so a malformed export fails the build, not a Perfetto session
+   a week later.
+
+   Usage: tracecheck FILE [--require NAME]...
+
+   Checks, using the repository's own Fom_util.Json parser:
+   - the file parses and has a non-empty "traceEvents" array;
+   - every event is an object with the expected name/ph/pid/tid/ts
+     fields, and ph is one of B, E, M;
+   - B/E events balance per tid (every end matches the innermost open
+     begin of the same name; nothing is left open);
+   - each --require NAME has at least one complete B/E pair. *)
+
+module Json = Fom_util.Json
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("tracecheck: " ^ m); exit 1) fmt
+
+let str_field obj key =
+  match Json.member key obj with
+  | Some (Json.String s) -> s
+  | Some _ | None -> fail "event is missing string field %S" key
+
+let int_field obj key =
+  match Json.member key obj with
+  | Some (Json.Int i) -> i
+  | Some _ | None -> fail "event is missing integer field %S" key
+
+let () =
+  let path = ref None in
+  let required = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--require" :: name :: rest ->
+        required := name :: !required;
+        parse rest
+    | "--require" :: [] -> fail "--require needs a span name"
+    | arg :: rest ->
+        (match !path with
+        | None -> path := Some arg
+        | Some _ -> fail "unexpected argument %S" arg);
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let path = match !path with Some p -> p | None -> fail "usage: tracecheck FILE [--require NAME]..." in
+  let doc =
+    match Json.of_file ~path with
+    | doc -> doc
+    | exception exn -> fail "%s does not parse: %s" path (Printexc.to_string exn)
+  in
+  let events =
+    match Json.member "traceEvents" doc with
+    | Some (Json.List events) -> events
+    | Some _ -> fail "\"traceEvents\" is not an array"
+    | None -> fail "no \"traceEvents\" field"
+  in
+  if events = [] then fail "empty traceEvents array";
+  (* Per-tid stacks of open span names, and completed-span counts. *)
+  let stacks : (int, string list ref) Hashtbl.t = Hashtbl.create 8 in
+  let completed : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let durations = ref 0 in
+  List.iter
+    (fun ev ->
+      let name = str_field ev "name" in
+      match str_field ev "ph" with
+      | "M" -> ()
+      | "B" ->
+          incr durations;
+          (match Json.member "ts" ev with
+          | Some (Json.Int _ | Json.Float _) -> ()
+          | Some _ | None -> fail "B event %S has no numeric ts" name);
+          let tid = int_field ev "tid" in
+          let stack =
+            match Hashtbl.find_opt stacks tid with
+            | Some s -> s
+            | None ->
+                let s = ref [] in
+                Hashtbl.add stacks tid s;
+                s
+          in
+          stack := name :: !stack
+      | "E" -> (
+          let tid = int_field ev "tid" in
+          match Hashtbl.find_opt stacks tid with
+          | Some ({ contents = top :: rest } as stack) ->
+              if not (String.equal top name) then
+                fail "tid %d: E %S closes open span %S" tid name top;
+              stack := rest;
+              Hashtbl.replace completed name
+                (1 + Option.value (Hashtbl.find_opt completed name) ~default:0)
+          | Some { contents = [] } | None -> fail "tid %d: E %S with no open span" tid name)
+      | ph -> fail "event %S has unexpected ph %S" name ph)
+    events;
+  Hashtbl.iter
+    (fun tid stack ->
+      match !stack with
+      | [] -> ()
+      | open_spans -> fail "tid %d: %d span(s) left open (%s)" tid (List.length open_spans)
+            (String.concat ", " open_spans))
+    stacks;
+  List.iter
+    (fun name ->
+      if Option.value (Hashtbl.find_opt completed name) ~default:0 = 0 then
+        fail "no complete span named %S" name)
+    !required;
+  Printf.printf "tracecheck: %s ok (%d events, %d spans, %d threads)\n" path
+    (List.length events) !durations (Hashtbl.length stacks)
